@@ -1,0 +1,60 @@
+// Microbenchmarks (google-benchmark) of the core algorithmic kernels:
+// DME construction, van Ginneken insertion, staged extraction and one full
+// transient evaluation, across benchmark sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/evaluate.h"
+#include "cts/dme.h"
+#include "cts/vanginneken.h"
+#include "netlist/generators.h"
+#include "rctree/extract.h"
+
+using namespace contango;
+
+static void BM_BuildZst(benchmark::State& state) {
+  const Benchmark bench = generate_ti_like(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ClockTree tree = build_zst(bench);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BuildZst)->Arg(100)->Arg(400)->Arg(1600)->Complexity();
+
+static void BM_InsertBuffers(benchmark::State& state) {
+  const Benchmark bench = generate_ti_like(static_cast<int>(state.range(0)));
+  const ClockTree base = build_zst(bench);
+  for (auto _ : state) {
+    ClockTree tree = base;
+    insert_buffers(tree, bench, CompositeBuffer{0, 8});
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_InsertBuffers)->Arg(100)->Arg(400)->Arg(1600)->Complexity();
+
+static void BM_ExtractStages(benchmark::State& state) {
+  const Benchmark bench = generate_ti_like(static_cast<int>(state.range(0)));
+  ClockTree tree = build_zst(bench);
+  insert_buffers(tree, bench, CompositeBuffer{0, 8});
+  for (auto _ : state) {
+    const StagedNetlist net = extract_stages(tree, bench);
+    benchmark::DoNotOptimize(net.node_count());
+  }
+}
+BENCHMARK(BM_ExtractStages)->Arg(400)->Arg(1600);
+
+static void BM_TransientEvaluate(benchmark::State& state) {
+  const Benchmark bench = generate_ti_like(static_cast<int>(state.range(0)));
+  ClockTree tree = build_zst(bench);
+  insert_buffers(tree, bench, CompositeBuffer{0, 8});
+  Evaluator eval(bench);
+  for (auto _ : state) {
+    const EvalResult r = eval.evaluate(tree);
+    benchmark::DoNotOptimize(r.nominal_skew);
+  }
+}
+BENCHMARK(BM_TransientEvaluate)->Arg(100)->Arg(400);
+
+BENCHMARK_MAIN();

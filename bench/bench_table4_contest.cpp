@@ -1,0 +1,69 @@
+// Reproduces Table IV of the paper: final CLR, capacitance usage (% of the
+// benchmark limit) and runtime of Contango against weaker flows on the
+// seven-benchmark suite.  The ISPD'09 contest teams' binaries are not
+// available; a ladder of three baseline flows spans the same qualitative
+// range (see DESIGN.md): construction-only ("CONSTR"), one wiresizing pass
+// ("WSIZE"), and wiresizing + one snaking pass ("TUNED").
+//
+// Shape to match: Contango's average CLR is a multiple (the paper: 2.15x -
+// 3.99x) better than the baselines at comparable capacitance, and every
+// benchmark completes within the capacitance limit.
+
+#include <cstdio>
+
+#include "cts/baseline.h"
+#include "cts/flow.h"
+#include "io/table.h"
+#include "netlist/generators.h"
+#include "util/env.h"
+
+using namespace contango;
+
+int main() {
+  std::printf("== Table IV: results on the CNS benchmark suite ==\n");
+  std::printf("(CLR in ps; Cap in %% of the benchmark limit; CPU in s)\n\n");
+
+  TextTable table({"Benchmark", "CONTANGO CLR", "Cap%", "CPU", "TUNED CLR",
+                   "Cap%", "WSIZE CLR", "Cap%", "CONSTR CLR", "Cap%"});
+
+  double sum_contango = 0.0, sum_tuned = 0.0, sum_ws = 0.0, sum_con = 0.0;
+  double skew_sum = 0.0;
+  int rows = 0;
+  const long limit = env_long("CONTANGO_TABLE4_BENCHMARKS", 7);
+  for (int i = 0; i < static_cast<int>(limit) && i < 7; ++i) {
+    const Benchmark bench = generate_ispd_like(ispd09_suite_params(i));
+    const FlowResult contango = run_contango(bench);
+    const BaselineResult tuned = run_baseline_tuned(bench);
+    const BaselineResult ws = run_baseline_bst(bench);
+    const BaselineResult constr = run_baseline_construction(bench);
+
+    auto cap_pct = [&](Ff cap) {
+      return TextTable::num(100.0 * cap / bench.tech.cap_limit, 1);
+    };
+    table.add_row({bench.name,
+                   TextTable::num(contango.eval.clr, 2), cap_pct(contango.eval.total_cap),
+                   TextTable::num(contango.seconds, 1),
+                   TextTable::num(tuned.eval.clr, 2), cap_pct(tuned.eval.total_cap),
+                   TextTable::num(ws.eval.clr, 2), cap_pct(ws.eval.total_cap),
+                   TextTable::num(constr.eval.clr, 2), cap_pct(constr.eval.total_cap)});
+    sum_contango += contango.eval.clr;
+    sum_tuned += tuned.eval.clr;
+    sum_ws += ws.eval.clr;
+    sum_con += constr.eval.clr;
+    skew_sum += contango.eval.nominal_skew;
+    ++rows;
+    std::fflush(stdout);
+  }
+  std::printf("%s", table.to_string().c_str());
+  if (rows > 0) {
+    std::printf("\nAverage CLR: CONTANGO %.2f | TUNED %.2f (%.2fx) | "
+                "WSIZE %.2f (%.2fx) | CONSTR %.2f (%.2fx)\n",
+                sum_contango / rows, sum_tuned / rows, sum_tuned / sum_contango,
+                sum_ws / rows, sum_ws / sum_contango, sum_con / rows,
+                sum_con / sum_contango);
+    std::printf("Average final skew (CONTANGO): %.2f ps\n", skew_sum / rows);
+    std::printf("(paper Table IV: Contango beat the three contest teams by\n"
+                " 2.15x / 2.35x / 3.99x on average CLR)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Table V of the paper: scalability of the full flow on the
+// Texas-Instruments-style benchmark family (one 4.2 x 3.0 mm chip with a
+// 135K-position sink pool, sampled to increasing sink counts).
+//
+// Shape to match: total capacitance scales linearly with the number of
+// sinks; skew stays in single-digit-to-low-double-digit ps; the number of
+// simulation runs grows very slowly; the circuit evaluator dominates the
+// runtime.
+//
+// Default sweep: 200 / 500 / 1K / 2K / 5K sinks.  Set CONTANGO_MAX_SINKS
+// (e.g. 20000 or 50000) to extend the sweep toward the paper's full range;
+// runtime grows roughly linearly with sinks.
+
+#include <cstdio>
+#include <vector>
+
+#include "cts/flow.h"
+#include "io/table.h"
+#include "netlist/generators.h"
+#include "util/env.h"
+#include "util/timer.h"
+
+using namespace contango;
+
+int main() {
+  const long max_sinks = env_long("CONTANGO_MAX_SINKS", 10000);
+  std::vector<int> sweep;
+  for (int n : {200, 500, 1000, 2000, 5000, 10000, 20000, 50000}) {
+    if (n <= max_sinks) sweep.push_back(n);
+  }
+
+  std::printf("== Table V: scalability on TI-style benchmarks ==\n");
+  std::printf("(die 4.2 x 3.0 mm, sinks sampled from one 135K pool;\n");
+  std::printf(" latency = max nominal-corner latency)\n\n");
+
+  TextTable table({"# sinks", "CLR, ps", "Skew, ps", "Latency, ps", "Cap, pF",
+                   "CPU, s (runs)"});
+  for (int n : sweep) {
+    const Benchmark bench = generate_ti_like(n);
+    Timer timer;
+    const FlowResult r = run_contango(bench);
+    table.add_row({std::to_string(n), TextTable::num(r.eval.clr, 2),
+                   TextTable::num(r.eval.nominal_skew, 3),
+                   TextTable::num(r.eval.max_latency, 1),
+                   TextTable::num(r.eval.total_cap / 1000.0, 2),
+                   TextTable::num(timer.seconds(), 1) + " (" +
+                       std::to_string(r.sim_runs) + ")"});
+    std::printf("%s\n", table.to_string().c_str());  // progress after each row
+    std::fflush(stdout);
+  }
+  std::printf("Set CONTANGO_MAX_SINKS=50000 to run the paper's full sweep.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "analysis/elmore.h"
+
+#include <cmath>
+
+#include "util/units.h"
+
+namespace contango {
+
+ElmoreStage::ElmoreStage(const Stage& stage) : stage_(stage) {
+  const std::size_t n = stage.nodes.size();
+  cdown_.assign(n, 0.0);
+  tau_.assign(n, 0.0);
+
+  // Downstream caps: children have larger indices, so one reverse sweep.
+  for (std::size_t i = n; i-- > 0;) {
+    cdown_[i] += stage.nodes[i].cap;
+    if (stage.nodes[i].parent >= 0) {
+      cdown_[static_cast<std::size_t>(stage.nodes[i].parent)] += cdown_[i];
+    }
+    total_cap_ += stage.nodes[i].cap;
+  }
+  // Elmore tau accumulates along root-to-node paths: one forward sweep.
+  for (std::size_t i = 1; i < n; ++i) {
+    const int p = stage.nodes[i].parent;
+    tau_[i] = tau_[static_cast<std::size_t>(p)] + stage.nodes[i].res * cdown_[i];
+  }
+}
+
+Ps ElmoreStage::delay(int rc, KOhm r_drv) const {
+  return kLn2 * (r_drv * total_cap_ + tau(rc));
+}
+
+Ps ElmoreStage::slew(int rc, KOhm r_drv, Ps input_slew) const {
+  const Ps step = kLn9 * (r_drv * total_cap_ + tau(rc));
+  return std::sqrt(step * step + input_slew * input_slew);
+}
+
+}  // namespace contango

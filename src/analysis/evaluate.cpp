@@ -1,0 +1,163 @@
+#include "analysis/evaluate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace contango {
+
+Ps CornerTiming::max_latency() const {
+  Ps best = -std::numeric_limits<double>::max();
+  for (const auto& per_transition : sinks) {
+    for (const SinkTiming& s : per_transition) {
+      if (s.reached) best = std::max(best, s.latency);
+    }
+  }
+  return best;
+}
+
+Ps CornerTiming::min_latency() const {
+  Ps best = std::numeric_limits<double>::max();
+  for (const auto& per_transition : sinks) {
+    for (const SinkTiming& s : per_transition) {
+      if (s.reached) best = std::min(best, s.latency);
+    }
+  }
+  return best;
+}
+
+Ps CornerTiming::skew() const {
+  Ps worst = 0.0;
+  for (const auto& per_transition : sinks) {
+    Ps lo = std::numeric_limits<double>::max();
+    Ps hi = -std::numeric_limits<double>::max();
+    bool any = false;
+    for (const SinkTiming& s : per_transition) {
+      if (!s.reached) continue;
+      lo = std::min(lo, s.latency);
+      hi = std::max(hi, s.latency);
+      any = true;
+    }
+    if (any) worst = std::max(worst, hi - lo);
+  }
+  return worst;
+}
+
+KOhm effective_driver_res(KOhm nominal, const Technology& tech, Volt vdd,
+                          Transition output_transition) {
+  const double corner = std::pow(tech.vdd_nom / vdd, tech.supply_alpha);
+  const double asym = (output_transition == Transition::kRise)
+                          ? tech.rise_fall_ratio
+                          : 1.0 / tech.rise_fall_ratio;
+  return nominal * corner * asym;
+}
+
+Ps effective_intrinsic(Ps nominal, const Technology& tech, Volt vdd) {
+  return nominal * std::pow(tech.vdd_nom / vdd, tech.supply_alpha);
+}
+
+Evaluator::Evaluator(const Benchmark& bench, EvalOptions options)
+    : bench_(bench), options_(options), sim_(options.transient) {
+  sink_caps_.reserve(bench.sinks.size());
+  for (const Sink& s : bench.sinks) sink_caps_.push_back(s.cap);
+}
+
+EvalResult Evaluator::evaluate(const ClockTree& tree) {
+  ++sim_runs_;
+  const StagedNetlist net = extract_stages(tree, bench_, options_.extract);
+  EvalResult result;
+  result.total_cap = tree.total_cap(bench_.tech, sink_caps_);
+  result.cap_violation = bench_.tech.cap_limit > 0.0 && result.total_cap > bench_.tech.cap_limit;
+
+  /// Event at a stage driver's input.
+  struct Event {
+    Ps time = 0.0;
+    Ps slew = 0.0;
+    Transition dir = Transition::kRise;  ///< direction at the driver input
+  };
+
+  for (Volt vdd : bench_.tech.corners) {
+    CornerTiming corner;
+    corner.vdd = vdd;
+    for (auto& per_transition : corner.sinks) {
+      per_transition.assign(bench_.sinks.size(), SinkTiming{});
+    }
+
+    for (int t = 0; t < kNumTransitions; ++t) {
+      const auto source_dir = static_cast<Transition>(t);
+      std::vector<Event> events(net.stages.size());
+      std::vector<char> scheduled(net.stages.size(), 0);
+      events[0] = Event{0.0, options_.source_input_slew, source_dir};
+      scheduled[0] = 1;
+
+      // Stages are created parent-before-child by extraction, so a single
+      // forward sweep is a valid topological propagation.
+      for (std::size_t si = 0; si < net.stages.size(); ++si) {
+        if (!scheduled[si]) {
+          throw std::logic_error("Evaluator: stage scheduled out of order");
+        }
+        const Stage& stage = net.stages[si];
+        const Event& ev = events[si];
+
+        // The clock source is non-inverting; composite buffers invert.
+        const TreeNode& driver = tree.node(stage.driver);
+        Transition out_dir = ev.dir;
+        KOhm r_nom = bench_.source_res;
+        Ps intrinsic_nom = 0.0;
+        if (driver.is_buffer()) {
+          const CompositeElectrical e = bench_.tech.electrical(driver.buffer);
+          r_nom = e.output_res;
+          intrinsic_nom = e.intrinsic_delay;
+          out_dir = (ev.dir == Transition::kRise) ? Transition::kFall : Transition::kRise;
+        }
+        const KOhm r_drv = effective_driver_res(r_nom, bench_.tech, vdd, out_dir);
+        const Ps intrinsic = effective_intrinsic(intrinsic_nom, bench_.tech, vdd);
+
+        const std::vector<TapTiming> taps = sim_.simulate_stage(stage, r_drv, intrinsic, ev.slew);
+
+        std::size_t next_stage = 0;
+        for (std::size_t k = 0; k < stage.taps.size(); ++k) {
+          const Tap& tap = stage.taps[k];
+          corner.max_slew = std::max(corner.max_slew, taps[k].slew);
+          if (tap.is_sink) {
+            SinkTiming& st = corner.sinks[t][static_cast<std::size_t>(tap.sink_index)];
+            st.latency = ev.time + taps[k].delay;
+            st.slew = taps[k].slew;
+            st.reached = true;
+          } else {
+            const int child = stage.downstream_stages.at(next_stage++);
+            events[static_cast<std::size_t>(child)] =
+                Event{ev.time + taps[k].delay, taps[k].slew, out_dir};
+            scheduled[static_cast<std::size_t>(child)] = 1;
+          }
+        }
+      }
+    }
+    result.corners.push_back(std::move(corner));
+  }
+
+  for (const CornerTiming& corner : result.corners) {
+    result.worst_slew = std::max(result.worst_slew, corner.max_slew);
+    for (const auto& per_transition : corner.sinks) {
+      for (const SinkTiming& s : per_transition) {
+        if (!s.reached) result.all_sinks_reached = false;
+      }
+    }
+  }
+  result.slew_violation = result.worst_slew > bench_.tech.slew_limit;
+  if (!result.corners.empty()) {
+    result.nominal_skew = result.corners.front().skew();
+    result.max_latency = result.corners.front().max_latency();
+  }
+  if (result.corners.size() >= 2) {
+    // Clock Latency Range (ISPD'09): greatest sink latency at the low
+    // supply minus least sink latency at the nominal supply.
+    result.clr = result.corners.back().max_latency() - result.corners.front().min_latency();
+  } else {
+    result.clr = result.nominal_skew;
+  }
+  return result;
+}
+
+}  // namespace contango

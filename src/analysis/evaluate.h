@@ -1,0 +1,94 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "analysis/transient.h"
+#include "netlist/benchmark.h"
+#include "rctree/clocktree.h"
+#include "rctree/extract.h"
+
+namespace contango {
+
+/// Transition direction at the clock source.
+enum class Transition : int { kRise = 0, kFall = 1 };
+inline constexpr int kNumTransitions = 2;
+
+/// Latency and slew of one sink for one (corner, source transition) pair.
+struct SinkTiming {
+  Ps latency = 0.0;
+  Ps slew = 0.0;
+  bool reached = false;  ///< false if the sink is missing from the tree
+};
+
+/// Timing of the full network at one supply corner.
+struct CornerTiming {
+  Volt vdd = 0.0;
+  /// sinks[transition][sink_index]
+  std::array<std::vector<SinkTiming>, kNumTransitions> sinks;
+  Ps max_slew = 0.0;  ///< worst 10-90% slew at any tap (sinks + buffer inputs)
+
+  Ps max_latency() const;
+  Ps min_latency() const;
+  /// Worst skew over transitions: max over t of (max - min latency).
+  Ps skew() const;
+};
+
+/// Result of one Clock-Network Evaluation (CNE) pass.
+struct EvalResult {
+  std::vector<CornerTiming> corners;  ///< same order as Technology::corners
+
+  Ps nominal_skew = 0.0;  ///< corner 0 skew (the contest's "skew")
+  Ps clr = 0.0;           ///< max latency @ low corner - min latency @ nominal
+  Ps max_latency = 0.0;   ///< nominal corner
+  Ps worst_slew = 0.0;    ///< across all corners
+  Ff total_cap = 0.0;
+  bool slew_violation = false;
+  bool cap_violation = false;
+  bool all_sinks_reached = true;
+
+  bool legal() const { return !slew_violation && !cap_violation && all_sinks_reached; }
+};
+
+/// Options of the evaluation harness.
+struct EvalOptions {
+  ExtractOptions extract;
+  TransientOptions transient;
+  Ps source_input_slew = 10.0;  ///< transition time of the external clock
+};
+
+/// Clock-Network Evaluation: runs the transient engine over every stage of
+/// the tree for every (supply corner x source transition) combination and
+/// aggregates skew, CLR, slew and capacitance checks.  Each evaluate() call
+/// counts as one simulation run — the analogue of the paper's SPICE-run
+/// budget (Table V reports those counts).
+class Evaluator {
+ public:
+  explicit Evaluator(const Benchmark& bench, EvalOptions options = {});
+
+  EvalResult evaluate(const ClockTree& tree);
+
+  /// Number of evaluate() calls so far ("SPICE runs").
+  int sim_runs() const { return sim_runs_; }
+  void reset_sim_runs() { sim_runs_ = 0; }
+
+  const Benchmark& benchmark() const { return bench_; }
+  const EvalOptions& options() const { return options_; }
+
+ private:
+  const Benchmark& bench_;
+  EvalOptions options_;
+  TransientSimulator sim_;
+  std::vector<Ff> sink_caps_;
+  int sim_runs_ = 0;
+};
+
+/// Effective driver resistance for a stage driver: applies supply-corner
+/// scaling and rise/fall asymmetry to the nominal output resistance.
+KOhm effective_driver_res(KOhm nominal, const Technology& tech, Volt vdd,
+                          Transition output_transition);
+
+/// Effective intrinsic delay under supply scaling.
+Ps effective_intrinsic(Ps nominal, const Technology& tech, Volt vdd);
+
+}  // namespace contango

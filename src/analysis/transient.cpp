@@ -1,0 +1,123 @@
+#include "analysis/transient.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/elmore.h"
+#include "util/units.h"
+
+namespace contango {
+
+std::vector<TapTiming> TransientSimulator::simulate_stage(const Stage& stage,
+                                                          KOhm r_drv,
+                                                          Ps intrinsic,
+                                                          Ps input_slew) const {
+  const std::size_t n = stage.nodes.size();
+  std::vector<TapTiming> result(stage.taps.size());
+  if (n == 0) return result;
+
+  // Characteristic time constant for timestep selection and the stop guard.
+  const ElmoreStage elmore(stage);
+  Ps max_tau = 0.0;
+  for (const Tap& tap : stage.taps) max_tau = std::max(max_tau, elmore.tau(tap.rc_index));
+  const Ps tau_char = std::max(r_drv * elmore.total_cap() + max_tau, 0.5);
+
+  // Driver source waveform: delay then linear ramp (normalized 0 -> 1).
+  const Ps t0 = intrinsic + options_.slew_to_delay * input_slew;
+  const Ps ramp = options_.ramp_base + options_.slew_feedthrough * input_slew;
+  auto source = [&](Ps t) {
+    if (t <= t0) return 0.0;
+    if (t >= t0 + ramp) return 1.0;
+    return (t - t0) / ramp;
+  };
+
+  const Ps h = std::clamp(std::min(tau_char / options_.time_step_div, ramp / 4.0),
+                          options_.min_step, options_.max_step);
+  const Ps t_stop = t0 + ramp + 40.0 * tau_char;
+
+  // Trapezoidal discretization:  (C/h + G/2) v+  =  (C/h) v - (G v)/2 + (b+ + b)/2.
+  // The LHS matrix is constant; factor it once with a leaf-to-root sweep.
+  const KOhm g_drv = 1.0 / std::max(r_drv, 1e-9);
+  std::vector<double> g(n, 0.0);  // conductance to parent
+  for (std::size_t i = 1; i < n; ++i) g[i] = 1.0 / std::max(stage.nodes[i].res, 1e-9);
+
+  std::vector<double> adiag(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) adiag[i] = stage.nodes[i].cap / h;
+  adiag[0] += g_drv / 2.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    adiag[i] += g[i] / 2.0;
+    adiag[static_cast<std::size_t>(stage.nodes[i].parent)] += g[i] / 2.0;
+  }
+  // Cholesky-style tree elimination: children have larger indices.
+  std::vector<double> mult(n, 0.0);
+  for (std::size_t i = n; i-- > 1;) {
+    mult[i] = (g[i] / 2.0) / adiag[i];
+    adiag[static_cast<std::size_t>(stage.nodes[i].parent)] -= (g[i] / 2.0) * mult[i];
+  }
+
+  std::vector<double> v(n, 0.0), rhs(n, 0.0), gv(n, 0.0);
+
+  // Threshold bookkeeping per tap.
+  constexpr double kTh10 = 0.1, kTh50 = 0.5, kTh90 = 0.9;
+  struct Crossings {
+    double t10 = -1.0, t50 = -1.0, t90 = -1.0;
+  };
+  std::vector<Crossings> cross(stage.taps.size());
+  std::vector<double> tap_prev(stage.taps.size(), 0.0);
+
+  std::size_t pending = stage.taps.size();
+  Ps t = 0.0;
+  while (pending > 0 && t < t_stop) {
+    // rhs = (C/h) v - (G v)/2 + (b(t) + b(t+h))/2.
+    std::fill(gv.begin(), gv.end(), 0.0);
+    gv[0] = g_drv * v[0];
+    for (std::size_t i = 1; i < n; ++i) {
+      const auto p = static_cast<std::size_t>(stage.nodes[i].parent);
+      const double flow = g[i] * (v[i] - v[p]);
+      gv[i] += flow;
+      gv[p] -= flow;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      rhs[i] = (stage.nodes[i].cap / h) * v[i] - gv[i] / 2.0;
+    }
+    rhs[0] += g_drv * (source(t) + source(t + h)) / 2.0;
+
+    // Forward elimination (leaves to root), then back-substitution.
+    for (std::size_t i = n; i-- > 1;) {
+      rhs[static_cast<std::size_t>(stage.nodes[i].parent)] += mult[i] * rhs[i];
+    }
+    v[0] = rhs[0] / adiag[0];
+    for (std::size_t i = 1; i < n; ++i) {
+      v[i] = (rhs[i] + (g[i] / 2.0) * v[static_cast<std::size_t>(stage.nodes[i].parent)]) / adiag[i];
+    }
+
+    const Ps t_next = t + h;
+    for (std::size_t k = 0; k < stage.taps.size(); ++k) {
+      Crossings& c = cross[k];
+      if (c.t90 >= 0.0) continue;
+      const double prev = tap_prev[k];
+      const double now = v[static_cast<std::size_t>(stage.taps[k].rc_index)];
+      auto interp = [&](double th) { return t + h * (th - prev) / std::max(now - prev, 1e-12); };
+      if (c.t10 < 0.0 && now >= kTh10) c.t10 = interp(kTh10);
+      if (c.t50 < 0.0 && now >= kTh50) c.t50 = interp(kTh50);
+      if (c.t90 < 0.0 && now >= kTh90) {
+        c.t90 = interp(kTh90);
+        --pending;
+      }
+      tap_prev[k] = now;
+    }
+    t = t_next;
+  }
+
+  for (std::size_t k = 0; k < stage.taps.size(); ++k) {
+    Crossings& c = cross[k];
+    if (c.t10 < 0.0) c.t10 = t_stop;
+    if (c.t50 < 0.0) c.t50 = t_stop;
+    if (c.t90 < 0.0) c.t90 = t_stop;
+    result[k].delay = c.t50;
+    result[k].slew = c.t90 - c.t10;
+  }
+  return result;
+}
+
+}  // namespace contango

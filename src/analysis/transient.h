@@ -1,0 +1,63 @@
+#pragma once
+
+#include <vector>
+
+#include "rctree/extract.h"
+
+namespace contango {
+
+/// Timing measured at one tap of a stage by waveform analysis.
+struct TapTiming {
+  Ps delay = 0.0;  ///< driver-input 50% crossing to tap 50% crossing
+  Ps slew = 0.0;   ///< 10%-90% transition time at the tap
+};
+
+/// Numerical options of the transient engine.
+struct TransientOptions {
+  /// Timestep = clamp(tau_char / time_step_div, min_step, max_step) where
+  /// tau_char is the stage's dominant time constant estimate.
+  double time_step_div = 80.0;
+  Ps min_step = 0.02;
+  Ps max_step = 2.0;
+
+  /// Driver waveform model constants (see simulate_stage).
+  double slew_to_delay = 0.12;  ///< extra driver delay per ps of input slew
+  double slew_feedthrough = 0.5;  ///< source ramp lengthening per ps input slew
+  Ps ramp_base = 2.0;             ///< minimum source ramp duration
+};
+
+/// SPICE-substitute engine: trapezoidal integration of each stage's RC tree
+/// with an O(n) sparse tree factorization per step.
+///
+/// Driver model: a Thevenin source behind the composite buffer's output
+/// resistance.  After the driver input crosses 50% (stage-local t = 0) the
+/// source waits the intrinsic delay plus a slew-dependent penalty, then
+/// ramps linearly across the supply over a duration that grows with input
+/// slew.  Output polarity, supply corner and rise/fall asymmetry enter only
+/// through the effective driver resistance and intrinsic delay, which the
+/// caller computes; the RC network is linear, so rising and falling
+/// responses are mirrors and we always integrate a normalized 0 -> 1 swing.
+///
+/// This reproduces the properties Contango's optimizations rely on:
+/// resistive shielding in long wires, slew propagation through stages, and
+/// the impact of slew on delay — the effects the paper lists as missing
+/// from closed-form models (section III-A).
+class TransientSimulator {
+ public:
+  explicit TransientSimulator(TransientOptions options = {})
+      : options_(options) {}
+
+  /// Simulates one stage.  `r_drv` is the effective driver resistance,
+  /// `intrinsic` the effective driver intrinsic delay, `input_slew` the
+  /// 10-90% transition time at the driver input.  Returns one TapTiming per
+  /// stage tap (same order as stage.taps).
+  std::vector<TapTiming> simulate_stage(const Stage& stage, KOhm r_drv,
+                                        Ps intrinsic, Ps input_slew) const;
+
+  const TransientOptions& options() const { return options_; }
+
+ private:
+  TransientOptions options_;
+};
+
+}  // namespace contango

@@ -1,0 +1,74 @@
+#include "analysis/twopole.h"
+
+#include <cmath>
+
+#include "util/units.h"
+
+namespace contango {
+
+TwoPoleStage::TwoPoleStage(const Stage& stage, KOhm r_drv) {
+  const std::size_t n = stage.nodes.size();
+  m1_.assign(n, 0.0);
+  m2_.assign(n, 0.0);
+
+  // First moments: Elmore tau with the driver resistance included, via the
+  // usual downstream-cap sweeps.
+  std::vector<Ff> cdown(n, 0.0);
+  Ff ctotal = 0.0;
+  for (std::size_t i = n; i-- > 0;) {
+    cdown[i] += stage.nodes[i].cap;
+    ctotal += stage.nodes[i].cap;
+    if (stage.nodes[i].parent >= 0) {
+      cdown[static_cast<std::size_t>(stage.nodes[i].parent)] += cdown[i];
+    }
+  }
+  m1_[0] = r_drv * ctotal;
+  for (std::size_t i = 1; i < n; ++i) {
+    m1_[i] = m1_[static_cast<std::size_t>(stage.nodes[i].parent)] +
+             stage.nodes[i].res * cdown[i];
+  }
+
+  // Second moments: same propagation pattern with moment-weighted charge
+  // w_k = C_k * m1_k in place of the plain capacitance.
+  std::vector<double> wdown(n, 0.0);
+  double wtotal = 0.0;
+  for (std::size_t i = n; i-- > 0;) {
+    const double w = stage.nodes[i].cap * m1_[i];
+    wdown[i] += w;
+    wtotal += w;
+    if (stage.nodes[i].parent >= 0) {
+      wdown[static_cast<std::size_t>(stage.nodes[i].parent)] += wdown[i];
+    }
+  }
+  m2_[0] = r_drv * wtotal;
+  for (std::size_t i = 1; i < n; ++i) {
+    m2_[i] = m2_[static_cast<std::size_t>(stage.nodes[i].parent)] +
+             stage.nodes[i].res * wdown[i];
+  }
+}
+
+Ps TwoPoleStage::delay(int rc) const {
+  const double m1 = m1_[static_cast<std::size_t>(rc)];
+  const double m2 = m2_[static_cast<std::size_t>(rc)];
+  if (m2 <= 0.0) return kLn2 * m1;
+  return kLn2 * m1 * m1 / std::sqrt(m2);
+}
+
+Ps TwoPoleStage::slew(int rc, Ps input_slew) const {
+  const double m1 = m1_[static_cast<std::size_t>(rc)];
+  const double m2 = m2_[static_cast<std::size_t>(rc)];
+  // Dominant pole of the two-pole fit: b1 = m1, b2 = m1^2 - m2 gives the
+  // characteristic polynomial 1 + b1 s + b2 s^2; when the fit degenerates
+  // use the single-pole tau.
+  double tau = m1;
+  const double disc = m1 * m1 - 2.0 * (m1 * m1 - m2);
+  if (m1 * m1 - m2 > 0.0 && disc > 0.0) {
+    const double b2 = m1 * m1 - m2;
+    const double p = (m1 - std::sqrt(disc)) / (2.0 * b2);
+    if (p > 0.0) tau = 1.0 / p;
+  }
+  const double step = kLn9 * tau;
+  return std::sqrt(step * step + input_slew * input_slew);
+}
+
+}  // namespace contango

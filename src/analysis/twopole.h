@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "rctree/extract.h"
+
+namespace contango {
+
+/// Second-order moment analysis of a stage RC tree (Arnoldi/AWE-style
+/// reduced-order model).  The paper lists Arnoldi approximation as a valid
+/// drop-in for SPICE in the evaluation loop; this engine provides that
+/// option at a fraction of the transient engine's cost.
+///
+/// For tap t with transfer-function moments m1, m2 (m1 < 0):
+///   D2M delay estimate:  ln2 * m1^2 / sqrt(m2)
+///   two-pole slew estimate from the fitted dominant pole.
+class TwoPoleStage {
+ public:
+  TwoPoleStage(const Stage& stage, KOhm r_drv);
+
+  /// First moment magnitude at RC node `rc` (the exact Elmore tau including
+  /// the driver resistance term).
+  Ps m1(int rc) const { return m1_[static_cast<std::size_t>(rc)]; }
+
+  /// Second moment at RC node `rc`.
+  double m2(int rc) const { return m2_[static_cast<std::size_t>(rc)]; }
+
+  /// D2M 50% delay metric: ln2 * m1^2 / sqrt(m2).  Falls back to ln2 * m1
+  /// when m2 is numerically degenerate.
+  Ps delay(int rc) const;
+
+  /// Dominant-pole 10-90% slew estimate combined with the input slew in
+  /// quadrature.
+  Ps slew(int rc, Ps input_slew) const;
+
+ private:
+  std::vector<Ps> m1_;
+  std::vector<double> m2_;
+};
+
+}  // namespace contango

@@ -1,0 +1,172 @@
+#include "cts/balanced_insertion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "cts/buflib.h"
+#include "rctree/extract.h"
+#include "util/log.h"
+
+namespace contango {
+namespace {
+
+/// Per-node delay profile of the unbuffered tree under lumped-edge Elmore.
+struct DelayProfile {
+  std::vector<Ps> d;       ///< Elmore delay from the root to the node
+  std::vector<Ps> remain;  ///< max additional delay from the node to a sink
+  std::vector<Ff> load;    ///< capacitance hanging strictly below the node
+};
+
+DelayProfile profile(const ClockTree& tree, const Benchmark& bench) {
+  DelayProfile p;
+  p.d.assign(tree.size(), 0.0);
+  p.remain.assign(tree.size(), 0.0);
+  p.load.assign(tree.size(), 0.0);
+  const std::vector<NodeId> topo = tree.topological_order();
+
+  // Reverse sweep: subtree capacitance and max remaining delay.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId id = *it;
+    const TreeNode& n = tree.node(id);
+    if (n.is_sink()) {
+      p.load[id] = bench.sinks.at(static_cast<std::size_t>(n.sink_index)).cap;
+    }
+    for (NodeId ch : n.children) {
+      const TreeNode& c = tree.node(ch);
+      const WireType& wire = bench.tech.wires.at(static_cast<std::size_t>(c.wire_width));
+      const Um len = tree.edge_length(ch);
+      const Ff wire_cap = wire.c_per_um * len;
+      const Ps edge_delay = wire.r_per_um * len * (wire_cap / 2.0 + p.load[ch]);
+      p.load[id] += wire_cap + p.load[ch];
+      p.remain[id] = std::max(p.remain[id], edge_delay + p.remain[ch]);
+    }
+  }
+  // Forward sweep: delay from the root.
+  for (NodeId id : topo) {
+    if (id == tree.root()) continue;
+    const TreeNode& n = tree.node(id);
+    const WireType& wire = bench.tech.wires.at(static_cast<std::size_t>(n.wire_width));
+    const Um len = tree.edge_length(id);
+    const Ff wire_cap = wire.c_per_um * len;
+    p.d[id] = p.d[n.parent] + wire.r_per_um * len * (wire_cap / 2.0 + p.load[id]);
+  }
+  return p;
+}
+
+/// Places n buffers on every path of `tree` at the k/(n+1) crossings of the
+/// normalized delay f.  Returns the number of buffers inserted.
+int place(ClockTree& tree, const Benchmark& bench, const CompositeBuffer& buffer,
+          int n, Um nudge_step) {
+  const DelayProfile p = profile(tree, bench);
+  const ObstacleSet& obs = bench.obstacles();
+  int inserted = 0;
+
+  // The per-edge normalized-delay interval (f_entry, f_exit] tiles (0, 1]
+  // along every root-to-sink path, so each threshold lands on exactly one
+  // edge of each path.
+  for (NodeId id : tree.topological_order()) {
+    if (id == tree.root()) continue;
+    const NodeId parent = tree.node(id).parent;
+    const double denom_exit = p.d[id] + p.remain[id];
+    const double denom_entry = p.d[parent] + p.remain[parent];
+    if (denom_exit <= 0.0 || denom_entry <= 0.0) continue;
+    const double f_entry = p.d[parent] / denom_entry;
+    const double f_exit = tree.node(id).children.empty() && !tree.node(id).is_sink()
+                              ? 1.0
+                              : p.d[id] / denom_exit;
+
+    const Um elec = tree.edge_length(id);
+    const Um routed = tree.routed_length(id);
+    const double stretch = routed > 0.0 ? elec / routed : 1.0;
+    const Ps edge_delay = p.d[id] - p.d[parent];
+
+    // Thresholds inside this edge's interval, nearest the child first so
+    // repeated insert_buffer calls split the remaining upper edge.
+    std::vector<Um> spots;
+    for (int k = n; k >= 1; --k) {
+      const double t = static_cast<double>(k) / (n + 1);
+      if (t <= f_entry || t > f_exit + 1e-12) continue;
+      // Solve f(s) = t with d(s) linearized along the edge:
+      // f(s) = d(s) / (d_exit + remain_exit)  =>  d(s) = t * denom_exit.
+      double s_elec;
+      if (edge_delay <= 0.0) {
+        s_elec = elec / 2.0;
+      } else {
+        s_elec = elec * (t * denom_exit - p.d[parent]) / edge_delay;
+      }
+      spots.push_back(std::clamp(s_elec / stretch, 0.0, routed));
+    }
+    std::sort(spots.begin(), spots.end(), std::greater<>());
+
+    NodeId cur = id;
+    for (Um s : spots) {
+      // Slide off obstacle interiors.
+      Point pos = point_along(tree.node(cur).route, s);
+      if (obs.blocks_point(pos)) {
+        const Um len = tree.routed_length(cur);
+        for (Um shift = nudge_step; shift < len; shift += nudge_step) {
+          const Um up = std::max(s - shift, 0.0);
+          if (!obs.blocks_point(point_along(tree.node(cur).route, up))) {
+            s = up;
+            break;
+          }
+          const Um down = std::min(s + shift, len);
+          if (!obs.blocks_point(point_along(tree.node(cur).route, down))) {
+            s = down;
+            break;
+          }
+        }
+      }
+      cur = tree.insert_buffer(cur, s, buffer);
+      ++inserted;
+    }
+  }
+  return inserted;
+}
+
+}  // namespace
+
+BalancedInsertionResult insert_buffers_balanced(
+    ClockTree& tree, const Benchmark& bench, const CompositeBuffer& buffer,
+    const BalancedInsertionOptions& options) {
+  const Ff stage_budget =
+      options.stage_cap > 0.0
+          ? options.stage_cap
+          : slew_free_cap(bench.tech, buffer, options.slew_margin);
+  const CompositeElectrical elec = bench.tech.electrical(buffer);
+
+  // Initial stage-count estimate from the heaviest path's wire capacitance.
+  const DelayProfile prof = profile(tree, bench);
+  Um longest = 0.0;
+  for (NodeId id : tree.topological_order()) {
+    if (tree.node(id).is_sink()) longest = std::max(longest, tree.path_length(id));
+  }
+  const Ff c_per_um = bench.tech.wires.back().c_per_um;
+  int n = std::clamp(static_cast<int>(std::floor(longest * c_per_um / stage_budget)),
+                     1, options.max_stages);
+  (void)prof;
+
+  BalancedInsertionResult result;
+  for (; n <= options.max_stages; ++n) {
+    ClockTree scratch = tree;
+    const int inserted = place(scratch, bench, buffer, n, options.nudge_step);
+    const StagedNetlist net = extract_stages(scratch, bench);
+    Ff worst = 0.0;
+    for (const Stage& stage : net.stages) {
+      worst = std::max(worst, stage.total_cap() - elec.output_cap);
+    }
+    if (worst <= stage_budget || n == options.max_stages) {
+      tree = std::move(scratch);
+      result.stages = n;
+      result.buffers_inserted = inserted;
+      break;
+    }
+  }
+  tree.validate();
+  Log::debug("insert_buffers_balanced: n = %d stages, %d buffers",
+             result.stages, result.buffers_inserted);
+  return result;
+}
+
+}  // namespace contango

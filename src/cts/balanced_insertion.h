@@ -1,0 +1,44 @@
+#pragma once
+
+#include "netlist/benchmark.h"
+#include "rctree/clocktree.h"
+
+namespace contango {
+
+/// Equal-delay-contour buffer insertion.
+///
+/// The paper relies on the observation that buffering an Elmore-balanced
+/// tree puts "practically the same numbers of buffers" on every source-to-
+/// sink path (section IV-C) — the property that keeps the buffered tree's
+/// skew small enough for wiresizing/wiresnaking to finish the job.  This
+/// inserter enforces that property by construction: buffers are placed
+/// where the normalized path delay
+///
+///     f(x) = d(x) / (d(x) + maxRemaining(x))
+///
+/// crosses k/(n+1) for k = 1..n.  f grows monotonically from 0 at the root
+/// to 1 at every sink, so *every* path receives exactly n buffers, even
+/// after obstacle detours have skewed raw delays.  n is the smallest stage
+/// count whose stages are all slew-feasible (stage capacitance within the
+/// driver's slew-free budget).
+struct BalancedInsertionOptions {
+  /// Stage capacitance budget per composite driver; <= 0 derives it from
+  /// the slew limit via slew_free_cap() with `slew_margin`.
+  Ff stage_cap = 0.0;
+  double slew_margin = 0.68;
+  int max_stages = 64;     ///< upper bound on n (guards degenerate inputs)
+  Um nudge_step = 5.0;     ///< obstacle-avoidance slide step for buffer sites
+};
+
+struct BalancedInsertionResult {
+  int stages = 0;            ///< buffers per source-to-sink path (n)
+  int buffers_inserted = 0;  ///< total buffer nodes added
+};
+
+/// Inserts `n` buffers on every root-to-sink path of an (unbuffered) tree.
+/// The tree is modified in place.
+BalancedInsertionResult insert_buffers_balanced(
+    ClockTree& tree, const Benchmark& bench, const CompositeBuffer& buffer,
+    const BalancedInsertionOptions& options = {});
+
+}  // namespace contango

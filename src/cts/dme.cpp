@@ -1,0 +1,294 @@
+#include "cts/dme.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "util/log.h"
+
+namespace contango {
+namespace {
+
+Ps wire_delay(Um len, Ff load, KOhm r, Ff c) {
+  return r * len * (c * len / 2.0 + load);
+}
+
+/// Wire length needed to add exactly `extra` delay when driving `load`:
+/// solves (rc/2) L^2 + r*load*L - extra = 0 for L >= 0.
+Um length_for_delay(Ps extra, Ff load, KOhm r, Ff c) {
+  if (extra <= 0.0) return 0.0;
+  const double a = r * c / 2.0;
+  const double b = r * load;
+  if (a <= 0.0) return (b > 0.0) ? extra / b : 0.0;
+  return (-b + std::sqrt(b * b + 4.0 * a * extra)) / (2.0 * a);
+}
+
+/// One active subtree during bottom-up merging.
+struct MergeItem {
+  TiltedRect region;
+  Ps delay = 0.0;  ///< root-to-sink delay of the subtree (equal to all sinks)
+  Ff cap = 0.0;    ///< downstream capacitance seen at the subtree root
+  int left = -1, right = -1;  ///< children in the merge forest
+  int sink = -1;              ///< benchmark sink index for leaves
+  Um e_left = 0.0, e_right = 0.0;  ///< planned wire lengths to children
+};
+
+/// Grid-accelerated nearest-neighbour search over active items.
+class NeighbourGrid {
+ public:
+  NeighbourGrid(const std::vector<MergeItem>& items,
+                const std::vector<int>& active) {
+    double xlo = std::numeric_limits<double>::max(), xhi = -xlo;
+    double ylo = xlo, yhi = -xlo;
+    for (int idx : active) {
+      const Point p = items[static_cast<std::size_t>(idx)].region.any_point();
+      xlo = std::min(xlo, p.x);
+      xhi = std::max(xhi, p.x);
+      ylo = std::min(ylo, p.y);
+      yhi = std::max(yhi, p.y);
+    }
+    origin_ = Point{xlo, ylo};
+    const double span = std::max({xhi - xlo, yhi - ylo, 1.0});
+    n_ = std::max(1, static_cast<int>(std::sqrt(static_cast<double>(active.size()))));
+    cell_ = span / n_;
+    cells_.assign(static_cast<std::size_t>(n_) * n_, {});
+    for (int idx : active) {
+      const Point p = items[static_cast<std::size_t>(idx)].region.any_point();
+      cells_[cell_index(p)].push_back(idx);
+    }
+  }
+
+  /// Nearest active item to `self` by merge-region distance, or -1.
+  int nearest(const std::vector<MergeItem>& items, const std::vector<char>& taken,
+              int self) const {
+    const MergeItem& me = items[static_cast<std::size_t>(self)];
+    const Point p = me.region.any_point();
+    const int ci = std::clamp(static_cast<int>((p.x - origin_.x) / cell_), 0, n_ - 1);
+    const int cj = std::clamp(static_cast<int>((p.y - origin_.y) / cell_), 0, n_ - 1);
+    int best = -1;
+    double best_d = std::numeric_limits<double>::max();
+    for (int ring = 0; ring < 2 * n_; ++ring) {
+      // Once a candidate is found, one extra ring guarantees correctness
+      // (region distance can undercut center distance by the region size,
+      // which is bounded by a cell or two in practice).
+      if (best >= 0 && (ring - 1) * cell_ > best_d) break;
+      bool any_cell = false;
+      for (int i = ci - ring; i <= ci + ring; ++i) {
+        for (int j = cj - ring; j <= cj + ring; ++j) {
+          if (std::max(std::abs(i - ci), std::abs(j - cj)) != ring) continue;
+          if (i < 0 || i >= n_ || j < 0 || j >= n_) continue;
+          any_cell = true;
+          for (int cand : cells_[static_cast<std::size_t>(j) * n_ + i]) {
+            if (cand == self || taken[static_cast<std::size_t>(cand)]) continue;
+            const double d = me.region.distance(items[static_cast<std::size_t>(cand)].region);
+            if (d < best_d) {
+              best_d = d;
+              best = cand;
+            }
+          }
+        }
+      }
+      if (!any_cell && ring >= n_) break;
+    }
+    return best;
+  }
+
+ private:
+  std::size_t cell_index(const Point& p) const {
+    const int i = std::clamp(static_cast<int>((p.x - origin_.x) / cell_), 0, n_ - 1);
+    const int j = std::clamp(static_cast<int>((p.y - origin_.y) / cell_), 0, n_ - 1);
+    return static_cast<std::size_t>(j) * n_ + i;
+  }
+
+  Point origin_;
+  double cell_ = 1.0;
+  int n_ = 1;
+  std::vector<std::vector<int>> cells_;
+};
+
+}  // namespace
+
+ZstMerge zero_skew_merge(Ps t_a, Ff c_a, Ps t_b, Ff c_b, Um dist, KOhm r,
+                         Ff c) {
+  ZstMerge m;
+  auto f = [&](Um x) {
+    return (t_a + wire_delay(x, c_a, r, c)) -
+           (t_b + wire_delay(dist - x, c_b, r, c));
+  };
+  if (f(0.0) >= 0.0) {
+    // Side a is no faster even when tapped at its root: the tap sits on a's
+    // region and b's wire is extended to L with t_b + delay(L, c_b) = t_a.
+    // f(0) >= 0 guarantees L >= dist.
+    m.e_a = 0.0;
+    m.e_b = length_for_delay(t_a - t_b, c_b, r, c);
+    m.delay = t_a;
+  } else if (f(dist) <= 0.0) {
+    m.e_b = 0.0;
+    m.e_a = length_for_delay(t_b - t_a, c_a, r, c);
+    m.delay = t_b;
+  } else {
+    // Interior balance point: f is strictly increasing; bisect.
+    Um lo = 0.0, hi = dist;
+    for (int it = 0; it < 100; ++it) {
+      const Um mid = (lo + hi) / 2.0;
+      if (f(mid) >= 0.0) hi = mid;
+      else lo = mid;
+    }
+    m.e_a = (lo + hi) / 2.0;
+    m.e_b = dist - m.e_a;
+    m.delay = t_a + wire_delay(m.e_a, c_a, r, c);
+  }
+  return m;
+}
+
+ZstMerge pathlength_merge(Um len_a, Um len_b, Um dist) {
+  ZstMerge m;
+  // Balance e_a + len_a = e_b + len_b with e_a + e_b = dist when possible.
+  const Um e_a = (dist + len_b - len_a) / 2.0;
+  if (e_a < 0.0) {
+    m.e_a = 0.0;
+    m.e_b = len_a - len_b;  // >= dist here
+  } else if (e_a > dist) {
+    m.e_a = len_b - len_a;
+    m.e_b = 0.0;
+  } else {
+    m.e_a = e_a;
+    m.e_b = dist - e_a;
+  }
+  m.delay = len_a + m.e_a;
+  return m;
+}
+
+ClockTree build_zst(const Benchmark& bench, const DmeOptions& options) {
+  const int width = options.wire_width >= 0
+                        ? options.wire_width
+                        : static_cast<int>(bench.tech.wires.size()) - 1;
+  const WireType& wire = bench.tech.wires.at(static_cast<std::size_t>(width));
+  const KOhm r = wire.r_per_um;
+  const Ff c = wire.c_per_um;
+
+  // Leaves of the merge forest: one item per sink.
+  std::vector<MergeItem> items;
+  items.reserve(2 * bench.sinks.size());
+  std::vector<int> active;
+  for (std::size_t i = 0; i < bench.sinks.size(); ++i) {
+    MergeItem item;
+    item.region = TiltedRect::from_point(bench.sinks[i].position);
+    item.cap = bench.sinks[i].cap;
+    item.sink = static_cast<int>(i);
+    active.push_back(static_cast<int>(items.size()));
+    items.push_back(item);
+  }
+
+  // Bottom-up: rounds of greedy nearest-neighbour matching.
+  while (active.size() > 1) {
+    NeighbourGrid grid(items, active);
+    std::vector<char> taken(items.size(), 0);
+
+    // Collect (distance, a, b) candidate pairs from each item's NN.
+    struct Pair {
+      double d;
+      int a, b;
+    };
+    std::vector<Pair> pairs;
+    pairs.reserve(active.size());
+    for (int idx : active) {
+      const int nn = grid.nearest(items, taken, idx);
+      if (nn >= 0) {
+        pairs.push_back(Pair{items[static_cast<std::size_t>(idx)].region.distance(
+                                 items[static_cast<std::size_t>(nn)].region),
+                             idx, nn});
+      }
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Pair& x, const Pair& y) { return x.d < y.d; });
+
+    std::vector<int> next_active;
+    for (const Pair& p : pairs) {
+      if (taken[static_cast<std::size_t>(p.a)] || taken[static_cast<std::size_t>(p.b)]) continue;
+      taken[static_cast<std::size_t>(p.a)] = taken[static_cast<std::size_t>(p.b)] = 1;
+      const MergeItem& ia = items[static_cast<std::size_t>(p.a)];
+      const MergeItem& ib = items[static_cast<std::size_t>(p.b)];
+      const Um dist = ia.region.distance(ib.region);
+      const ZstMerge zm =
+          options.balance == DmeBalance::kElmore
+              ? zero_skew_merge(ia.delay, ia.cap, ib.delay, ib.cap, dist, r, c)
+              : pathlength_merge(ia.delay, ib.delay, dist);
+
+      MergeItem parent;
+      parent.region = merge_region(ia.region, zm.e_a, ib.region, zm.e_b);
+      if (!parent.region.valid()) {
+        // Numerical guard: fall back to the midpoint-ish intersection by
+        // clamping the smaller side.
+        parent.region = ia.region.inflated(zm.e_a + 1e-6)
+                            .intersection(ib.region.inflated(zm.e_b + 1e-6));
+        if (!parent.region.valid()) {
+          throw std::logic_error("build_zst: empty merge region");
+        }
+      }
+      parent.delay = zm.delay;
+      parent.cap = ia.cap + ib.cap + c * (zm.e_a + zm.e_b);
+      parent.left = p.a;
+      parent.right = p.b;
+      parent.e_left = zm.e_a;
+      parent.e_right = zm.e_b;
+      next_active.push_back(static_cast<int>(items.size()));
+      items.push_back(parent);
+    }
+    // Unmatched leftovers move up a round.
+    for (int idx : active) {
+      if (!taken[static_cast<std::size_t>(idx)]) next_active.push_back(idx);
+    }
+    if (next_active.size() >= active.size()) {
+      throw std::logic_error("build_zst: matching made no progress");
+    }
+    active = std::move(next_active);
+  }
+
+  // Top-down embedding.
+  ClockTree tree;
+  const NodeId source = tree.add_source(bench.source);
+  if (items.empty()) return tree;
+
+  struct Frame {
+    int item;
+    NodeId parent;      ///< tree node to attach to
+    Um planned;         ///< planned electrical length of the connecting wire
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{active.front(), source, -1.0});
+
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const MergeItem& item = items[static_cast<std::size_t>(f.item)];
+    const Point parent_pos = tree.node(f.parent).pos;
+    // Sinks use their exact benchmark coordinates: the tilted-coordinate
+    // round trip can perturb them by an epsilon, which matters when a sink
+    // sits exactly on an obstacle boundary.
+    const Point pos = (item.sink >= 0)
+                          ? bench.sinks[static_cast<std::size_t>(item.sink)].position
+                          : item.region.closest_to(parent_pos);
+
+    const NodeKind kind = (item.sink >= 0) ? NodeKind::kSink : NodeKind::kInternal;
+    const NodeId id = tree.add_child(f.parent, kind, pos);
+    TreeNode& node = tree.node(id);
+    node.wire_width = width;
+    if (item.sink >= 0) node.sink_index = item.sink;
+    if (f.planned >= 0.0) {
+      const Um routed = tree.routed_length(id);
+      // Planned length can exceed the routed distance (snaking was decided
+      // during merging, or the parent sat inside the inflated region).
+      node.snake = std::max(0.0, f.planned - routed);
+    }
+    if (item.left >= 0) stack.push_back(Frame{item.left, id, item.e_left});
+    if (item.right >= 0) stack.push_back(Frame{item.right, id, item.e_right});
+  }
+
+  tree.validate();
+  return tree;
+}
+
+}  // namespace contango

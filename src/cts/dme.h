@@ -1,0 +1,68 @@
+#pragma once
+
+#include "geom/tilted.h"
+#include "netlist/benchmark.h"
+#include "rctree/clocktree.h"
+
+namespace contango {
+
+/// Balance metric for the bottom-up merges (paper section II: clock trees
+/// are traditionally built "with respect to simple delay models — geometric
+/// pathlength or Elmore delay").
+enum class DmeBalance {
+  /// Equalize root-to-sink *electrical length*.  Once repeaters divide the
+  /// quadratic wire delay, buffered path delay is nearly proportional to
+  /// length, so this metric is the right pre-buffering balance and the
+  /// Contango flow's default.
+  kPathLength,
+  /// Equalize unbuffered Elmore delay (the classic exact-ZST metric).
+  kElmore,
+};
+
+/// Options for zero-skew tree construction.
+struct DmeOptions {
+  /// Wire width used for all tree edges (-1 = widest available).  The
+  /// initial tree is built entirely in the widest wire so that later
+  /// slow-down optimizations can *downsize* (paper section IV-C: make sinks
+  /// as fast as possible first).
+  int wire_width = -1;
+
+  DmeBalance balance = DmeBalance::kPathLength;
+};
+
+/// Zero-skew clock tree construction with the Deferred Merge Embedding
+/// (DME) algorithm under the Elmore delay model:
+///
+///  1. Topology: bottom-up nearest-neighbour clustering (Edahiro-style
+///     greedy matching over merge regions, grid-accelerated).
+///  2. Bottom-up phase: per merge, the exact Tsay zero-skew balance point
+///     along the connecting wire is computed; when one side is too slow the
+///     other side's wire is extended (planned snaking).  Merge regions are
+///     tracked as tilted rectangles (Manhattan-ball geometry).
+///  3. Top-down embedding: each node is placed at the point of its merge
+///     region closest to its parent's placement; leftover planned length
+///     becomes electrical snake on the edge.
+///
+/// The returned tree is rooted at the benchmark source, with a trunk edge
+/// to the DME root: under the Elmore model all sink latencies are equal.
+/// Obstacles are ignored here (repaired later by the legalization pass).
+ClockTree build_zst(const Benchmark& bench, const DmeOptions& options = {});
+
+/// Exact zero-skew merge (Tsay): given two subtrees with root delays
+/// t_a/t_b and load caps c_a/c_b, joined by a wire of length `dist` with
+/// unit parasitics r/c, returns the split (e_a, e_b) with e_a + e_b >= dist
+/// such that both sides reach equal delay; e_a + e_b > dist means wire
+/// extension (snaking) on one side.  Exposed for unit testing.
+struct ZstMerge {
+  Um e_a = 0.0;
+  Um e_b = 0.0;
+  Ps delay = 0.0;  ///< merged subtree root-to-sink delay
+};
+ZstMerge zero_skew_merge(Ps t_a, Ff c_a, Ps t_b, Ff c_b, Um dist, KOhm r_per_um,
+                         Ff c_per_um);
+
+/// Pathlength-balanced merge: subtree "delays" are root-to-sink lengths;
+/// the split satisfies e_a + len_a = e_b + len_b with e_a + e_b >= dist.
+ZstMerge pathlength_merge(Um len_a, Um len_b, Um dist);
+
+}  // namespace contango

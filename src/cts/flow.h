@@ -1,0 +1,85 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/evaluate.h"
+#include "cts/obstacles.h"
+#include "cts/polarity.h"
+#include "cts/vanginneken.h"
+#include "netlist/benchmark.h"
+#include "rctree/clocktree.h"
+
+namespace contango {
+
+/// Options of the full Contango flow (paper Fig. 1).
+struct FlowOptions {
+  BufferInsertionOptions insertion;
+  EvalOptions eval;
+
+  /// Strongest composite tried is unit x max_ladder (the paper's "batches
+  /// of 16x, 24x, etc.").
+  int max_ladder = 8;
+  /// Power/capacitance reserve gamma: buffer selection stays within
+  /// (1 - gamma) of the capacitance budget (paper: gamma = 10%).
+  double power_reserve = 0.10;
+
+  int max_sizing_rounds = 10;    ///< TWSZ iteration cap
+  int max_snaking_rounds = 14;   ///< TWSN iteration cap
+  int max_bottom_rounds = 10;    ///< BWSN iteration cap
+  int max_buffer_sizing_iters = 5;  ///< TBSZ schedule length (p_i = 1/(i+3))
+  int branch_levels = 4;        ///< levels sized by capacitance borrowing
+
+  Um snake_unit = 20.0;   ///< l_wn for top-down snaking
+  Um bottom_unit = 5.0;   ///< l_wn for bottom-level fine-tuning
+
+  /// Stage switches (for ablation studies).
+  bool enable_tbsz = true;
+  bool enable_twsz = true;
+  bool enable_twsn = true;
+  bool enable_bwsn = true;
+};
+
+/// Metrics recorded after each optimization stage (paper Table III rows).
+struct StageSnapshot {
+  std::string name;  ///< INITIAL, TBSZ, TWSZ, TWSN, BWSN
+  Ps skew = 0.0;
+  Ps clr = 0.0;
+  Ps max_latency = 0.0;
+  Ff cap = 0.0;
+  int sim_runs = 0;  ///< cumulative evaluation count at snapshot time
+  double seconds = 0.0;
+};
+
+/// Full result of one Contango run.
+struct FlowResult {
+  ClockTree tree;
+  EvalResult eval;
+  std::vector<StageSnapshot> stages;
+  ObstacleRepairReport obstacles;
+  PolarityFix polarity;
+  CompositeBuffer buffer{0, 1};  ///< composite selected for insertion
+  int sim_runs = 0;
+  double seconds = 0.0;
+
+  const StageSnapshot* stage(const std::string& name) const {
+    for (const StageSnapshot& s : stages) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+};
+
+/// Runs the integrated Contango methodology (paper Fig. 1):
+///   ZST/DME -> obstacle repair -> composite selection + fast buffer
+///   insertion -> polarity correction -> [CNE] -> trunk sliding/
+///   interleaving + iterative buffer sizing (TBSZ, CLR objective) ->
+///   iterative top-down wiresizing (TWSZ) -> top-down wiresnaking (TWSN)
+///   -> bottom-level fine-tuning (BWSN).
+/// Every optimization is gated by Clock-Network Evaluation plus
+/// Improvement- & Violation-Checking: a step that fails to improve its
+/// objective or violates slew/capacitance is rolled back and the flow
+/// moves on.
+FlowResult run_contango(const Benchmark& bench, const FlowOptions& options = {});
+
+}  // namespace contango

@@ -1,0 +1,97 @@
+#include "cts/slack.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace contango {
+namespace {
+
+constexpr Ps kInf = std::numeric_limits<double>::max();
+
+/// Extremes of one (corner, transition) latency vector.
+struct Extremes {
+  Ps lo = kInf;
+  Ps hi = -kInf;
+};
+
+Extremes extremes(const std::vector<SinkTiming>& sinks) {
+  Extremes e;
+  for (const SinkTiming& s : sinks) {
+    if (!s.reached) continue;
+    e.lo = std::min(e.lo, s.latency);
+    e.hi = std::max(e.hi, s.latency);
+  }
+  return e;
+}
+
+}  // namespace
+
+EdgeSlacks compute_edge_slacks(const ClockTree& tree, const EvalResult& eval,
+                               const SlackOptions& options) {
+  EdgeSlacks slacks;
+  slacks.slow.assign(tree.size(), kInf);
+  slacks.fast.assign(tree.size(), kInf);
+
+  const std::size_t corners =
+      options.all_corners ? eval.corners.size() : std::min<std::size_t>(1, eval.corners.size());
+
+  // Sink slacks: minimum over every constraining (corner, transition).
+  const std::vector<NodeId> topo = tree.topological_order();
+  for (std::size_t c = 0; c < corners; ++c) {
+    for (int t = 0; t < kNumTransitions; ++t) {
+      const auto& sinks = eval.corners[c].sinks[static_cast<std::size_t>(t)];
+      const Extremes ex = extremes(sinks);
+      if (ex.hi < ex.lo) continue;
+      for (NodeId id : topo) {
+        const TreeNode& n = tree.node(id);
+        if (!n.is_sink()) continue;
+        const SinkTiming& st = sinks[static_cast<std::size_t>(n.sink_index)];
+        if (!st.reached) continue;
+        slacks.slow[id] = std::min(slacks.slow[id], ex.hi - st.latency);
+        slacks.fast[id] = std::min(slacks.fast[id], st.latency - ex.lo);
+      }
+    }
+  }
+
+  // Edge slacks: min over downstream sinks, one reverse topological sweep
+  // (Lemma 1).
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId id = *it;
+    const NodeId parent = tree.node(id).parent;
+    if (parent == kNoNode) continue;
+    slacks.slow[parent] = std::min(slacks.slow[parent], slacks.slow[id]);
+    slacks.fast[parent] = std::min(slacks.fast[parent], slacks.fast[id]);
+  }
+
+  // Delta_e (Proposition 1).  For edges below the root the parent slack is
+  // the root's aggregate, which is 0 whenever any sink is critical.
+  slacks.delta_slow.assign(tree.size(), 0.0);
+  slacks.delta_fast.assign(tree.size(), 0.0);
+  for (NodeId id : topo) {
+    if (id == tree.root()) continue;
+    const NodeId parent = tree.node(id).parent;
+    if (slacks.slow[id] < kInf) {
+      const Ps p = (slacks.slow[parent] >= kInf) ? 0.0 : slacks.slow[parent];
+      slacks.delta_slow[id] = slacks.slow[id] - p;
+    }
+    if (slacks.fast[id] < kInf) {
+      const Ps p = (slacks.fast[parent] >= kInf) ? 0.0 : slacks.fast[parent];
+      slacks.delta_fast[id] = slacks.fast[id] - p;
+    }
+  }
+  return slacks;
+}
+
+std::vector<Ps> sink_slow_slacks(const ClockTree& tree, const EvalResult& eval,
+                                 const SlackOptions& options) {
+  const EdgeSlacks slacks = compute_edge_slacks(tree, eval, options);
+  std::vector<Ps> out(tree.size(), 0.0);
+  for (NodeId id : tree.topological_order()) {
+    if (tree.node(id).is_sink()) {
+      out[id] = (slacks.slow[id] >= kInf) ? 0.0 : slacks.slow[id];
+    }
+  }
+  return out;
+}
+
+}  // namespace contango

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "analysis/evaluate.h"
+#include "rctree/clocktree.h"
+
+namespace contango {
+
+/// Slow-down / speed-up slack analysis (paper section III).
+///
+/// For sink s:   Slack_slow(s) = Tmax - T(s),  Slack_fast(s) = T(s) - Tmin
+/// (Definition 1): how much the sink's latency may unilaterally move
+/// without increasing skew.  For edge e the slack is the minimum over its
+/// downstream sinks (Definition 2 / Lemma 1), computed in O(n) bottom-up.
+/// Rise and fall transitions and every supply corner are handled
+/// separately; an edge's usable slack is the minimum across all of them
+/// (section III-B, multicorner handling).
+struct EdgeSlacks {
+  /// Indexed by tree NodeId (the edge above that node).  Nodes without
+  /// downstream sinks (tombstones) carry +inf.
+  std::vector<Ps> slow;
+  std::vector<Ps> fast;
+
+  /// Delta_e = Slack_e - Slack_parent(e) (Proposition 1): slowing every
+  /// edge by exactly delta_slow makes both skew and all slacks zero.
+  std::vector<Ps> delta_slow;
+  std::vector<Ps> delta_fast;
+};
+
+/// Which (corner, transition) combinations constrain the slack.
+struct SlackOptions {
+  bool all_corners = true;  ///< false = nominal corner only
+};
+
+/// Computes sink and edge slacks from one evaluation result.
+EdgeSlacks compute_edge_slacks(const ClockTree& tree, const EvalResult& eval,
+                               const SlackOptions& options = {});
+
+/// Per-sink slow-down slack at the nominal corner (minimum over
+/// transitions); used by bottom-level fine-tuning.
+std::vector<Ps> sink_slow_slacks(const ClockTree& tree, const EvalResult& eval,
+                                 const SlackOptions& options = {});
+
+}  // namespace contango

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "netlist/benchmark.h"
+#include "rctree/clocktree.h"
+
+namespace contango {
+
+/// Options for fast buffer insertion.
+struct BufferInsertionOptions {
+  /// Candidate buffer positions are spaced this far apart (routed um) along
+  /// every edge.  Smaller = better solutions, more DP work.
+  Um spacing = 100.0;
+
+  /// Safety margin applied to the slew-free capacitance bound that caps
+  /// how much load any driver may see (paper: "capacitance that can be
+  /// driven by a single buffer without risking slew violations").  The
+  /// single-pole bound ignores input-slew feedthrough and distributed wire
+  /// tau, so the margin is set from transient-engine calibration.
+  double slew_margin = 0.68;
+
+  /// Merge-node option combination: true = linear two-pointer combine
+  /// (the O(n log n)-variant behaviour of [Shi-Li 2005]); false = full
+  /// cross product with Pareto pruning (classic van Ginneken).
+  bool fast_merge = true;
+
+  /// Hard cap on the option-list length after pruning.
+  int max_options = 64;
+};
+
+/// Result summary of one insertion run.
+struct BufferInsertionResult {
+  int buffers_inserted = 0;
+  /// DP estimate (unscaled Elmore) of the worst source-to-sink delay.
+  Ps est_worst_delay = 0.0;
+};
+
+/// Van Ginneken buffer insertion specialized for clock trees: minimizes the
+/// worst Elmore source-to-sink latency with one composite buffer type,
+/// subject to (i) no option presenting more than the slew-free capacitance
+/// to its driver and (ii) buffers only at obstacle-legal positions.
+/// Because the input tree is Elmore-balanced, minimizing worst delay spares
+/// buffers on fast paths and keeps the buffered tree balanced (paper
+/// sections II and IV-C).
+///
+/// The tree is modified in place.  The caller is expected to run this for
+/// several composite-buffer candidates on copies of the tree and keep the
+/// best legal result (Contango tries successively stronger composites
+/// within 90% of the capacitance budget).
+BufferInsertionResult insert_buffers(ClockTree& tree, const Benchmark& bench,
+                                     const CompositeBuffer& buffer,
+                                     const BufferInsertionOptions& options = {});
+
+}  // namespace contango

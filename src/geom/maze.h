@@ -1,0 +1,43 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geom/obstacles.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace contango {
+
+/// Obstacle-avoiding point-to-point router.
+///
+/// Routes on the escape graph spanned by the x/y coordinates of the two
+/// terminals and of all obstacle corners inside a search window — the
+/// classic guarantee is that a shortest rectilinear obstacle-avoiding path
+/// exists on this grid.  Dijkstra with L1 edge weights finds it.  Wires may
+/// run along obstacle boundaries but not through interiors.
+class MazeRouter {
+ public:
+  /// `bounds` clips all routing (typically the chip outline).
+  MazeRouter(const ObstacleSet& obstacles, Rect bounds);
+
+  /// Shortest legal rectilinear path from `from` to `to` as a polyline
+  /// (first point == from, last == to, axis-parallel segments).  Returns
+  /// nullopt when the terminals are disconnected (e.g. a terminal strictly
+  /// inside an obstacle with no legal escape).
+  std::optional<std::vector<Point>> route(const Point& from,
+                                          const Point& to) const;
+
+  /// Length of the shortest legal route, or nullopt when unroutable.
+  std::optional<Um> route_length(const Point& from, const Point& to) const;
+
+ private:
+  std::optional<std::vector<Point>> route_in_window(const Point& from,
+                                                    const Point& to,
+                                                    const Rect& window) const;
+
+  const ObstacleSet& obstacles_;
+  Rect bounds_;
+};
+
+}  // namespace contango

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <algorithm>
+#include <ostream>
+
+#include "geom/point.h"
+
+namespace contango {
+
+/// Axis-aligned rectangle [xlo, xhi] x [ylo, yhi] in micrometers.
+/// Used for chip outlines and placement obstacles.  A rectangle is valid
+/// when xlo <= xhi and ylo <= yhi; degenerate (zero-area) rectangles are
+/// allowed and behave as segments or points.
+struct Rect {
+  Um xlo = 0.0, ylo = 0.0, xhi = 0.0, yhi = 0.0;
+
+  static Rect around(const Point& a, const Point& b) {
+    return Rect{std::min(a.x, b.x), std::min(a.y, b.y),
+                std::max(a.x, b.x), std::max(a.y, b.y)};
+  }
+
+  Um width() const { return xhi - xlo; }
+  Um height() const { return yhi - ylo; }
+  double area() const { return width() * height(); }
+  Point center() const { return Point{(xlo + xhi) / 2.0, (ylo + yhi) / 2.0}; }
+  bool valid() const { return xlo <= xhi && ylo <= yhi; }
+
+  /// Closed containment: boundary points count as inside.
+  bool contains(const Point& p) const {
+    return p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi;
+  }
+
+  /// Open containment: strictly interior points only.  Obstacle legality
+  /// uses this form — routing along an obstacle boundary is allowed.
+  bool contains_strict(const Point& p) const {
+    return p.x > xlo && p.x < xhi && p.y > ylo && p.y < yhi;
+  }
+
+  bool contains(const Rect& r) const {
+    return r.xlo >= xlo && r.xhi <= xhi && r.ylo >= ylo && r.yhi <= yhi;
+  }
+
+  /// Closed intersection test (touching rectangles intersect).
+  bool intersects(const Rect& r) const {
+    return xlo <= r.xhi && r.xlo <= xhi && ylo <= r.yhi && r.ylo <= yhi;
+  }
+
+  /// Open intersection test: true only when the interiors overlap.
+  bool overlaps_interior(const Rect& r) const {
+    return xlo < r.xhi && r.xlo < xhi && ylo < r.yhi && r.ylo < yhi;
+  }
+
+  /// True when the two rectangles share a boundary segment of positive
+  /// length but no interior: the "abutting obstacles" case the paper merges
+  /// into compound obstacles.
+  bool abuts(const Rect& r) const {
+    if (overlaps_interior(r)) return false;
+    const bool share_x = std::min(xhi, r.xhi) - std::max(xlo, r.xlo) > 0.0;
+    const bool share_y = std::min(yhi, r.yhi) - std::max(ylo, r.ylo) > 0.0;
+    const bool touch_x = xhi == r.xlo || r.xhi == xlo;
+    const bool touch_y = yhi == r.ylo || r.yhi == ylo;
+    return (touch_x && share_y) || (touch_y && share_x);
+  }
+
+  Rect intersection(const Rect& r) const {
+    return Rect{std::max(xlo, r.xlo), std::max(ylo, r.ylo),
+                std::min(xhi, r.xhi), std::min(yhi, r.yhi)};
+  }
+
+  Rect bounding_union(const Rect& r) const {
+    return Rect{std::min(xlo, r.xlo), std::min(ylo, r.ylo),
+                std::max(xhi, r.xhi), std::max(yhi, r.yhi)};
+  }
+
+  /// Rectangle grown by margin on all four sides (negative shrinks).
+  Rect inflated(Um margin) const {
+    return Rect{xlo - margin, ylo - margin, xhi + margin, yhi + margin};
+  }
+
+  /// L1 distance from p to the closed rectangle (0 when inside).
+  Um manhattan_distance(const Point& p) const {
+    const Um dx = std::max({xlo - p.x, 0.0, p.x - xhi});
+    const Um dy = std::max({ylo - p.y, 0.0, p.y - yhi});
+    return dx + dy;
+  }
+
+  /// Closest point of the closed rectangle to p.
+  Point clamp(const Point& p) const {
+    return Point{std::clamp(p.x, xlo, xhi), std::clamp(p.y, ylo, yhi)};
+  }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.xlo == b.xlo && a.ylo == b.ylo && a.xhi == b.xhi && a.yhi == b.yhi;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << "[" << r.xlo << "," << r.ylo << " .. " << r.xhi << "," << r.yhi
+            << "]";
+}
+
+}  // namespace contango

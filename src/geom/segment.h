@@ -1,0 +1,107 @@
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace contango {
+
+/// Axis-parallel (horizontal or vertical) segment.  Routed clock wires are
+/// polylines of such segments.
+struct HVSegment {
+  Point a;
+  Point b;
+
+  bool horizontal() const { return a.y == b.y; }
+  bool vertical() const { return a.x == b.x; }
+  bool axis_parallel() const { return horizontal() || vertical(); }
+  Um length() const { return manhattan(a, b); }
+
+  Rect bounds() const { return Rect::around(a, b); }
+
+  /// True when the open interior of the segment passes through the open
+  /// interior of the rectangle.  Touching the boundary does not count:
+  /// wires may run along obstacle edges.
+  bool crosses_interior(const Rect& r) const {
+    const Rect box = bounds();
+    if (!box.overlaps_interior(Rect{r.xlo, r.ylo, r.xhi, r.yhi})) return false;
+    if (horizontal()) {
+      return a.y > r.ylo && a.y < r.yhi && box.xhi > r.xlo && box.xlo < r.xhi;
+    }
+    if (vertical()) {
+      return a.x > r.xlo && a.x < r.xhi && box.yhi > r.ylo && box.ylo < r.yhi;
+    }
+    return false;
+  }
+};
+
+/// The two rectilinear elbow configurations of a point-to-point connection:
+/// horizontal-then-vertical or vertical-then-horizontal.  DME emits abstract
+/// point-to-point edges; embedding picks one of the two L-shapes.
+enum class LConfig { kHV, kVH };
+
+/// Expands a point-to-point connection into its one or two axis-parallel
+/// segments under the given L configuration.  Collinear connections yield a
+/// single segment.
+inline std::vector<HVSegment> l_shape(const Point& from, const Point& to,
+                                      LConfig config) {
+  std::vector<HVSegment> segs;
+  if (from.x == to.x || from.y == to.y) {
+    if (from != to) segs.push_back(HVSegment{from, to});
+    return segs;
+  }
+  const Point elbow = (config == LConfig::kHV) ? Point{to.x, from.y}
+                                               : Point{from.x, to.y};
+  segs.push_back(HVSegment{from, elbow});
+  segs.push_back(HVSegment{elbow, to});
+  return segs;
+}
+
+/// Total length of overlap between the polyline of an L-shape and the open
+/// interior of a rectangle.  Used to pick the L configuration that minimizes
+/// obstacle overlap (paper section IV-A, step 1).
+inline Um l_shape_overlap(const Point& from, const Point& to, LConfig config,
+                          const Rect& r) {
+  Um total = 0.0;
+  for (const HVSegment& s : l_shape(from, to, config)) {
+    const Rect box = s.bounds();
+    const Rect clip = box.intersection(r);
+    if (!clip.valid()) continue;
+    if (s.horizontal()) {
+      if (s.a.y > r.ylo && s.a.y < r.yhi) total += std::max(0.0, clip.width());
+    } else {
+      if (s.a.x > r.xlo && s.a.x < r.xhi) total += std::max(0.0, clip.height());
+    }
+  }
+  return total;
+}
+
+/// Polyline length.
+inline Um polyline_length(const std::vector<Point>& pts) {
+  Um total = 0.0;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    total += manhattan(pts[i - 1], pts[i]);
+  }
+  return total;
+}
+
+/// Point at arc-length distance d along the polyline (clamped to the ends).
+inline Point point_along(const std::vector<Point>& pts, Um d) {
+  if (pts.empty()) return Point{};
+  if (d <= 0.0) return pts.front();
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const Um seg = manhattan(pts[i - 1], pts[i]);
+    if (d <= seg && seg > 0.0) {
+      const double t = d / seg;
+      return Point{pts[i - 1].x + t * (pts[i].x - pts[i - 1].x),
+                   pts[i - 1].y + t * (pts[i].y - pts[i - 1].y)};
+    }
+    d -= seg;
+  }
+  return pts.back();
+}
+
+}  // namespace contango

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/point.h"
+
+namespace contango {
+
+/// Tilted (45-degree rotated) coordinates:  u = x + y,  v = x - y.
+///
+/// Manhattan distance in (x, y) equals Chebyshev (L-inf) distance in (u, v),
+/// so Manhattan balls become axis-aligned squares and the merging segments
+/// of DME (slope +-1 segments in layout space) become axis-aligned segments.
+/// Representing DME merge regions as axis-aligned rectangles in (u, v) —
+/// "tilted rectangle regions" — uniformly covers points, classic merging
+/// segments, and the 2-D merging regions of bounded-skew DME.
+struct TiltedPoint {
+  double u = 0.0;
+  double v = 0.0;
+
+  static TiltedPoint from(const Point& p) { return TiltedPoint{p.x + p.y, p.x - p.y}; }
+  Point to_point() const { return Point{(u + v) / 2.0, (u - v) / 2.0}; }
+};
+
+/// Axis-aligned rectangle in tilted coordinates.  In layout space this is a
+/// 45-degree rotated rectangle (a diamond when square).  Invariant:
+/// ulo <= uhi and vlo <= vhi.  Degenerate rectangles represent merging
+/// segments (one side zero) or single points (both sides zero).
+struct TiltedRect {
+  double ulo = 0.0, vlo = 0.0, uhi = 0.0, vhi = 0.0;
+
+  static TiltedRect from_point(const Point& p) {
+    const TiltedPoint t = TiltedPoint::from(p);
+    return TiltedRect{t.u, t.v, t.u, t.v};
+  }
+
+  bool valid() const { return ulo <= uhi && vlo <= vhi; }
+
+  /// Chebyshev "radius 0" membership.
+  bool contains(const TiltedPoint& p) const {
+    return p.u >= ulo && p.u <= uhi && p.v >= vlo && p.v <= vhi;
+  }
+
+  /// Minkowski expansion by a Manhattan ball of radius r: in tilted space a
+  /// Chebyshev square, i.e. inflate both axes by r.
+  TiltedRect inflated(double r) const {
+    return TiltedRect{ulo - r, vlo - r, uhi + r, vhi + r};
+  }
+
+  TiltedRect intersection(const TiltedRect& o) const {
+    return TiltedRect{std::max(ulo, o.ulo), std::max(vlo, o.vlo),
+                      std::min(uhi, o.uhi), std::min(vhi, o.vhi)};
+  }
+
+  /// Manhattan distance between the two regions (Chebyshev gap in (u, v)).
+  double distance(const TiltedRect& o) const {
+    const double du = std::max({ulo - o.uhi, o.ulo - uhi, 0.0});
+    const double dv = std::max({vlo - o.vhi, o.vlo - vhi, 0.0});
+    return std::max(du, dv);
+  }
+
+  /// Manhattan distance from a layout point to the region.
+  double distance(const Point& p) const {
+    const TiltedPoint t = TiltedPoint::from(p);
+    const double du = std::max({ulo - t.u, t.u - uhi, 0.0});
+    const double dv = std::max({vlo - t.v, t.v - vhi, 0.0});
+    return std::max(du, dv);
+  }
+
+  /// Point of the region closest (in Manhattan metric) to the layout
+  /// point p.  Clamping in tilted space is exact for Chebyshev distance.
+  Point closest_to(const Point& p) const {
+    const TiltedPoint t = TiltedPoint::from(p);
+    const TiltedPoint c{std::clamp(t.u, ulo, uhi), std::clamp(t.v, vlo, vhi)};
+    return c.to_point();
+  }
+
+  /// An arbitrary representative point (the center).
+  Point any_point() const {
+    return TiltedPoint{(ulo + uhi) / 2.0, (vlo + vhi) / 2.0}.to_point();
+  }
+};
+
+/// Computes the locus of points at Manhattan distance da from region `a`
+/// and within distance db from region `b`, given that
+/// distance(a, b) <= da + db (the DME merge feasibility condition).
+/// Returns the tilted-rectangle intersection; callers check valid().
+inline TiltedRect merge_region(const TiltedRect& a, double da,
+                               const TiltedRect& b, double db) {
+  return a.inflated(da).intersection(b.inflated(db));
+}
+
+}  // namespace contango

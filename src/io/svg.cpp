@@ -1,0 +1,103 @@
+#include "io/svg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace contango {
+namespace {
+
+std::string slack_color(double normalized) {
+  // Red (no slack) to green (max slack).
+  const double t = std::clamp(normalized, 0.0, 1.0);
+  const int r = static_cast<int>(std::lround(220.0 * (1.0 - t)));
+  const int g = static_cast<int>(std::lround(180.0 * t));
+  std::ostringstream os;
+  os << "rgb(" << r << "," << g << ",40)";
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_svg(const Benchmark& bench, const ClockTree& tree,
+                       const std::vector<Ps>& edge_slack,
+                       const SvgOptions& options) {
+  const double sx = options.canvas / std::max(bench.die.width(), 1.0);
+  const double height = bench.die.height() * sx;
+  auto px = [&](double x) { return (x - bench.die.xlo) * sx; };
+  // SVG y grows downward; flip so the die's y-up view matches the paper.
+  auto py = [&](double y) { return height - (y - bench.die.ylo) * sx; };
+
+  Ps max_slack = 1e-9;
+  for (Ps s : edge_slack) max_slack = std::max(max_slack, s);
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.canvas
+      << "\" height=\"" << height << "\" viewBox=\"0 0 " << options.canvas
+      << " " << height << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  if (options.draw_obstacles) {
+    for (const Rect& r : bench.obstacle_rects) {
+      svg << "<rect x=\"" << px(r.xlo) << "\" y=\"" << py(r.yhi) << "\" width=\""
+          << (r.width() * sx) << "\" height=\"" << (r.height() * sx)
+          << "\" fill=\"#d9d9d9\" stroke=\"#aaaaaa\" stroke-width=\"0.5\"/>\n";
+    }
+  }
+
+  // Wires.
+  for (NodeId id : tree.topological_order()) {
+    if (id == tree.root()) continue;
+    const TreeNode& n = tree.node(id);
+    std::string color = "#3060c0";
+    if (options.color_by_slack && id < edge_slack.size()) {
+      color = slack_color(edge_slack[id] / max_slack);
+    }
+    svg << "<polyline fill=\"none\" stroke=\"" << color
+        << "\" stroke-width=\"1.2\" points=\"";
+    for (const Point& p : n.route) svg << px(p.x) << "," << py(p.y) << " ";
+    svg << "\"/>\n";
+    if (n.snake > 0.0) {
+      // Mark snaked edges with a small circle at the midpoint.
+      const Point mid = point_along(n.route, tree.routed_length(id) / 2.0);
+      svg << "<circle cx=\"" << px(mid.x) << "\" cy=\"" << py(mid.y)
+          << "\" r=\"2\" fill=\"none\" stroke=\"" << color << "\"/>\n";
+    }
+  }
+
+  if (options.draw_buffers || options.draw_sinks) {
+    for (NodeId id : tree.topological_order()) {
+      const TreeNode& n = tree.node(id);
+      if (options.draw_buffers && n.is_buffer()) {
+        svg << "<rect x=\"" << (px(n.pos.x) - 3) << "\" y=\"" << (py(n.pos.y) - 3)
+            << "\" width=\"6\" height=\"6\" fill=\"#2040ff\"/>\n";
+      }
+      if (options.draw_sinks && n.is_sink()) {
+        const double cx = px(n.pos.x), cy = py(n.pos.y);
+        svg << "<path d=\"M" << (cx - 3) << " " << cy << " L" << (cx + 3) << " "
+            << cy << " M" << cx << " " << (cy - 3) << " L" << cx << " "
+            << (cy + 3) << "\" stroke=\"black\" stroke-width=\"1\"/>\n";
+      }
+    }
+  }
+  // Source marker.
+  if (!tree.empty()) {
+    const Point s = tree.node(tree.root()).pos;
+    svg << "<circle cx=\"" << px(s.x) << "\" cy=\"" << py(s.y)
+        << "\" r=\"5\" fill=\"#c03030\"/>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void write_svg_file(const std::string& path, const Benchmark& bench,
+                    const ClockTree& tree, const std::vector<Ps>& edge_slack,
+                    const SvgOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write SVG file: " + path);
+  out << render_svg(bench, tree, edge_slack, options);
+}
+
+}  // namespace contango

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/benchmark.h"
+#include "rctree/clocktree.h"
+
+namespace contango {
+
+/// SVG rendering of a benchmark + clock tree in the style of the paper's
+/// figures: obstacles as gray blocks, sinks as crosses, buffers as blue
+/// rectangles, and wires colored along a red-green gradient by slow-down
+/// slack (red = no slack, green = most slack) as in Fig. 3.
+struct SvgOptions {
+  double canvas = 1000.0;          ///< output width in px (height scales)
+  bool draw_obstacles = true;
+  bool draw_buffers = true;
+  bool draw_sinks = true;
+  bool color_by_slack = true;      ///< requires `edge_slack` below
+};
+
+/// Renders to an SVG string.  `edge_slack[node]` (optional, may be empty)
+/// maps each tree node to the slow-down slack of the edge above it.
+std::string render_svg(const Benchmark& bench, const ClockTree& tree,
+                       const std::vector<Ps>& edge_slack = {},
+                       const SvgOptions& options = {});
+
+/// Convenience: render and write to a file.
+void write_svg_file(const std::string& path, const Benchmark& bench,
+                    const ClockTree& tree,
+                    const std::vector<Ps>& edge_slack = {},
+                    const SvgOptions& options = {});
+
+}  // namespace contango

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace contango {
+
+/// Plain-text table formatter for the experiment harness: fixed-width
+/// columns, a header row, and a separator — the bench binaries print the
+/// paper's tables through this.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds one row; missing cells render empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision.
+  static std::string num(double value, int precision = 2);
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace contango

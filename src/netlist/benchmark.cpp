@@ -1,0 +1,40 @@
+#include "netlist/benchmark.h"
+
+#include <stdexcept>
+
+namespace contango {
+
+void validate(const Benchmark& bench) {
+  if (!bench.die.valid() || bench.die.area() <= 0.0) {
+    throw std::invalid_argument("benchmark '" + bench.name + "': empty die");
+  }
+  if (!bench.die.contains(bench.source)) {
+    throw std::invalid_argument("benchmark '" + bench.name +
+                                "': source outside die");
+  }
+  if (bench.sinks.empty()) {
+    throw std::invalid_argument("benchmark '" + bench.name + "': no sinks");
+  }
+  for (const Sink& s : bench.sinks) {
+    if (!bench.die.contains(s.position)) {
+      throw std::invalid_argument("benchmark '" + bench.name + "': sink '" +
+                                  s.name + "' outside die");
+    }
+    if (s.cap < 0.0) {
+      throw std::invalid_argument("benchmark '" + bench.name + "': sink '" +
+                                  s.name + "' has negative cap");
+    }
+  }
+  if (bench.tech.wires.empty() || bench.tech.inverters.empty()) {
+    throw std::invalid_argument("benchmark '" + bench.name +
+                                "': incomplete technology");
+  }
+  for (const Rect& r : bench.obstacle_rects) {
+    if (!r.valid()) {
+      throw std::invalid_argument("benchmark '" + bench.name +
+                                  "': invalid obstacle rect");
+    }
+  }
+}
+
+}  // namespace contango

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/obstacles.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "netlist/library.h"
+
+namespace contango {
+
+/// One clock sink: a flip-flop clock pin with its position and pin
+/// capacitance.  Sink polarity must be positive (non-inverted) in a legal
+/// solution.
+struct Sink {
+  std::string name;
+  Point position;
+  Ff cap = 0.0;
+};
+
+/// A clock-network-synthesis benchmark instance, modeled on the ISPD'09 CNS
+/// contest format: chip outline, clock source, sinks, placement obstacles,
+/// technology (wire widths + inverter library), and design limits.
+struct Benchmark {
+  std::string name;
+  Rect die;                ///< chip outline; all routing stays inside
+  Point source;            ///< clock entry point (typically on the boundary)
+  KOhm source_res = ohms(25.0);  ///< driver resistance of the clock source
+  std::vector<Sink> sinks;
+  std::vector<Rect> obstacle_rects;  ///< raw blockages (may abut/overlap)
+  Technology tech;
+
+  /// Obstacle set built once on demand (grouping + contours are O(n log n)
+  /// and the benchmark is immutable during synthesis).
+  const ObstacleSet& obstacles() const {
+    if (!obstacles_built_) {
+      obstacles_ = ObstacleSet(obstacle_rects);
+      obstacles_built_ = true;
+    }
+    return obstacles_;
+  }
+
+  /// Invalidates the cached obstacle set (used by generators/parsers after
+  /// mutating obstacle_rects).
+  void invalidate_obstacles() { obstacles_built_ = false; }
+
+  Ff total_sink_cap() const {
+    Ff total = 0.0;
+    for (const Sink& s : sinks) total += s.cap;
+    return total;
+  }
+
+ private:
+  mutable ObstacleSet obstacles_;
+  mutable bool obstacles_built_ = false;
+};
+
+/// Basic sanity checks: sinks inside the die, source inside the die,
+/// non-empty technology.  Throws std::invalid_argument on violation.
+void validate(const Benchmark& bench);
+
+}  // namespace contango

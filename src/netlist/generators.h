@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/benchmark.h"
+
+namespace contango {
+
+/// Parameters of the synthetic ISPD'09-style benchmark generator.  Each of
+/// the seven suite entries (cns01..cns07) is a fixed parameterization
+/// matched in scale to one contest chip (f11, f12, f21, f22, f31, f32,
+/// fnb1): die size up to 17x17 mm, 90-330 sinks, rectangular obstacles some
+/// of which abut into compound blockages.
+struct IspdGenParams {
+  std::string name;
+  Um die_w = 10000.0;
+  Um die_h = 10000.0;
+  int num_sinks = 100;
+  int num_clusters = 4;       ///< sink clustering (0 = pure uniform scatter)
+  double cluster_fraction = 0.6;  ///< fraction of sinks inside clusters
+  int num_obstacles = 20;
+  Um obstacle_min = 300.0;
+  Um obstacle_max = 2500.0;
+  double abut_fraction = 0.3;  ///< fraction of obstacles spawned abutting another
+  Ff sink_cap_min = 3.0;
+  Ff sink_cap_max = 35.0;
+  std::uint64_t seed = 1;
+};
+
+/// Generates one synthetic CNS benchmark.  Deterministic in the seed.
+Benchmark generate_ispd_like(const IspdGenParams& params);
+
+/// The seven-entry suite standing in for the ISPD'09 contest chips.
+std::vector<Benchmark> ispd09_suite();
+
+/// Parameter block for one suite entry by index 0..6 (exposed so tests and
+/// benches can generate a single entry cheaply).
+IspdGenParams ispd09_suite_params(int index);
+
+/// Texas Instruments-style scalability benchmark (paper section V): a
+/// 4.2 x 3.0 mm die with a 135K-position sink pool sampled down to
+/// `num_sinks`.  Sampling different sizes from the same pool (same seed)
+/// mirrors the paper's protocol.
+Benchmark generate_ti_like(int num_sinks, std::uint64_t seed = 77);
+
+}  // namespace contango

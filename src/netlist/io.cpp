@@ -1,0 +1,121 @@
+#include "netlist/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace contango {
+
+Benchmark read_benchmark(std::istream& in) {
+  Benchmark bench;
+  bench.tech.wires.clear();
+  bench.tech.inverters.clear();
+  bench.tech.corners.clear();
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ss(line);
+    std::string keyword;
+    if (!(ss >> keyword)) continue;
+
+    auto fail = [&](const std::string& what) {
+      throw std::runtime_error("benchmark parse error at line " +
+                               std::to_string(line_no) + ": " + what);
+    };
+
+    if (keyword == "name") {
+      if (!(ss >> bench.name)) fail("name");
+    } else if (keyword == "die") {
+      if (!(ss >> bench.die.xlo >> bench.die.ylo >> bench.die.xhi >> bench.die.yhi)) fail("die");
+    } else if (keyword == "source") {
+      if (!(ss >> bench.source.x >> bench.source.y)) fail("source");
+    } else if (keyword == "source_res") {
+      if (!(ss >> bench.source_res)) fail("source_res");
+    } else if (keyword == "slew_limit") {
+      if (!(ss >> bench.tech.slew_limit)) fail("slew_limit");
+    } else if (keyword == "cap_limit") {
+      if (!(ss >> bench.tech.cap_limit)) fail("cap_limit");
+    } else if (keyword == "supply_alpha") {
+      if (!(ss >> bench.tech.supply_alpha)) fail("supply_alpha");
+    } else if (keyword == "rise_fall_ratio") {
+      if (!(ss >> bench.tech.rise_fall_ratio)) fail("rise_fall_ratio");
+    } else if (keyword == "corners") {
+      double v;
+      while (ss >> v) bench.tech.corners.push_back(v);
+      if (bench.tech.corners.empty()) fail("corners");
+      bench.tech.vdd_nom = bench.tech.corners.front();
+    } else if (keyword == "wire") {
+      WireType w;
+      if (!(ss >> w.name >> w.r_per_um >> w.c_per_um)) fail("wire");
+      bench.tech.wires.push_back(w);
+    } else if (keyword == "inverter") {
+      InverterType inv;
+      if (!(ss >> inv.name >> inv.input_cap >> inv.output_cap >> inv.output_res >> inv.intrinsic_delay)) fail("inverter");
+      bench.tech.inverters.push_back(inv);
+    } else if (keyword == "sink") {
+      Sink s;
+      if (!(ss >> s.name >> s.position.x >> s.position.y >> s.cap)) fail("sink");
+      bench.sinks.push_back(s);
+    } else if (keyword == "obstacle") {
+      Rect r;
+      if (!(ss >> r.xlo >> r.ylo >> r.xhi >> r.yhi)) fail("obstacle");
+      bench.obstacle_rects.push_back(r);
+    } else {
+      fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  if (bench.tech.corners.empty()) bench.tech.corners = {1.2, 1.0};
+  validate(bench);
+  return bench;
+}
+
+Benchmark read_benchmark_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open benchmark file: " + path);
+  return read_benchmark(in);
+}
+
+void write_benchmark(const Benchmark& bench, std::ostream& out) {
+  out.precision(17);  // lossless double round-trip
+  out << "# contango CNS benchmark\n";
+  out << "name " << bench.name << "\n";
+  out << "die " << bench.die.xlo << " " << bench.die.ylo << " " << bench.die.xhi
+      << " " << bench.die.yhi << "\n";
+  out << "source " << bench.source.x << " " << bench.source.y << "\n";
+  out << "source_res " << bench.source_res << "\n";
+  out << "slew_limit " << bench.tech.slew_limit << "\n";
+  out << "cap_limit " << bench.tech.cap_limit << "\n";
+  out << "supply_alpha " << bench.tech.supply_alpha << "\n";
+  out << "rise_fall_ratio " << bench.tech.rise_fall_ratio << "\n";
+  out << "corners";
+  for (double v : bench.tech.corners) out << " " << v;
+  out << "\n";
+  for (const WireType& w : bench.tech.wires) {
+    out << "wire " << w.name << " " << w.r_per_um << " " << w.c_per_um << "\n";
+  }
+  for (const InverterType& inv : bench.tech.inverters) {
+    out << "inverter " << inv.name << " " << inv.input_cap << " "
+        << inv.output_cap << " " << inv.output_res << " "
+        << inv.intrinsic_delay << "\n";
+  }
+  for (const Sink& s : bench.sinks) {
+    out << "sink " << s.name << " " << s.position.x << " " << s.position.y
+        << " " << s.cap << "\n";
+  }
+  for (const Rect& r : bench.obstacle_rects) {
+    out << "obstacle " << r.xlo << " " << r.ylo << " " << r.xhi << " " << r.yhi
+        << "\n";
+  }
+}
+
+void write_benchmark_file(const Benchmark& bench, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write benchmark file: " + path);
+  write_benchmark(bench, out);
+}
+
+}  // namespace contango

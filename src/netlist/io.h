@@ -1,0 +1,34 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/benchmark.h"
+
+namespace contango {
+
+/// Plain-text benchmark format (one directive per line, '#' comments):
+///
+///   name <string>
+///   die <xlo> <ylo> <xhi> <yhi>
+///   source <x> <y>
+///   source_res <kohm>
+///   slew_limit <ps>
+///   cap_limit <fF>
+///   corners <vdd0> <vdd1> ...
+///   supply_alpha <a>
+///   rise_fall_ratio <r>
+///   wire <name> <kohm_per_um> <ff_per_um>
+///   inverter <name> <cin_ff> <cout_ff> <rout_kohm> <intrinsic_ps>
+///   sink <name> <x> <y> <cap_ff>
+///   obstacle <xlo> <ylo> <xhi> <yhi>
+///
+/// The format mirrors the information content of the ISPD'09 CNS contest
+/// inputs while staying trivially parseable.
+Benchmark read_benchmark(std::istream& in);
+Benchmark read_benchmark_file(const std::string& path);
+
+void write_benchmark(const Benchmark& bench, std::ostream& out);
+void write_benchmark_file(const Benchmark& bench, const std::string& path);
+
+}  // namespace contango

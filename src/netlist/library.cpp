@@ -1,0 +1,22 @@
+#include "netlist/library.h"
+
+namespace contango {
+
+Technology ispd09_technology() {
+  Technology tech;
+  // Two wire widths as in the contest; wider wire halves the resistance and
+  // raises capacitance.  Values are representative 45 nm global-layer
+  // parasitics (PTM-class).
+  tech.wires = {
+      WireType{"w1", ohms(0.10), 0.20},  // narrow: 0.10 ohm/um, 0.20 fF/um
+      WireType{"w2", ohms(0.05), 0.30},  // wide:   0.05 ohm/um, 0.30 fF/um
+  };
+  // Paper Table I electrical values.
+  tech.inverters = {
+      InverterType{"small", 4.2, 6.1, ohms(440.0), 2.0},
+      InverterType{"large", 35.0, 80.0, ohms(61.2), 2.0},
+  };
+  return tech;
+}
+
+}  // namespace contango

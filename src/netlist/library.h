@@ -1,0 +1,93 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace contango {
+
+/// Electrical model of one routing-wire width.  Wider wires have lower
+/// resistance and higher capacitance per micrometer; Contango's wiresizing
+/// moves edges between the available widths.
+struct WireType {
+  std::string name;
+  KOhm r_per_um = 0.0;  ///< series resistance per um
+  Ff c_per_um = 0.0;    ///< ground capacitance per um
+};
+
+/// Electrical model of one library inverter (switch-level abstraction):
+/// a Thevenin driver with slew- and supply-dependent behaviour layered on
+/// top by the analysis engines.
+///
+/// The ISPD'09 contest library had exactly two such cells (Table I of the
+/// paper); Contango is not limited to two.
+struct InverterType {
+  std::string name;
+  Ff input_cap = 0.0;    ///< gate capacitance presented to the driving stage
+  Ff output_cap = 0.0;   ///< intrinsic drain capacitance added to the load
+  KOhm output_res = 0.0; ///< nominal switching resistance at Vdd = vdd_nom
+  Ps intrinsic_delay = 0.0;  ///< delay at zero load (parasitic)
+};
+
+/// A composite buffer: `count` parallel copies of a base inverter, treated
+/// as one logical repeater.  Paralleling divides output resistance by count
+/// and multiplies both capacitances by count (paper section IV-B).
+struct CompositeBuffer {
+  int inverter_type = 0;  ///< index into the technology library
+  int count = 1;          ///< number of parallel copies
+
+  friend bool operator==(const CompositeBuffer& a, const CompositeBuffer& b) {
+    return a.inverter_type == b.inverter_type && a.count == b.count;
+  }
+};
+
+/// Derived electrical view of a composite buffer.
+struct CompositeElectrical {
+  Ff input_cap = 0.0;
+  Ff output_cap = 0.0;
+  KOhm output_res = 0.0;
+  Ps intrinsic_delay = 0.0;
+};
+
+/// Technology data for one benchmark: wire widths, inverter cells, supply
+/// corners and design limits.
+struct Technology {
+  std::vector<WireType> wires;          ///< index 0 = narrow, higher = wider
+  std::vector<InverterType> inverters;  ///< library cells
+  Volt vdd_nom = 1.2;                   ///< nominal supply
+  std::vector<Volt> corners{1.2, 1.0};  ///< evaluation corners (paper: 1.2/1.0 V)
+
+  /// Exponent of the drive-resistance supply dependence
+  /// R(vdd) = R_nom * (vdd_nom / vdd)^alpha.  Calibrated against the
+  /// ISPD'09 numbers: the contest's CLR results (Table IV/V of the paper)
+  /// imply an effective corner-to-corner latency delta of only ~2-4% of
+  /// the ~500 ps insertion delay, so the corner primarily stresses the
+  /// *imbalance* between paths rather than shifting the whole network.
+  /// alpha = 0.35 gives (1.2/1.0)^0.35 ~ 1.066 on driver resistance, which
+  /// lands the reproduced CLR in the same proportional band while keeping
+  /// the paper's optimization mechanics (stronger drivers and shorter
+  /// insertion delay reduce CLR) intact.
+  double supply_alpha = 0.35;
+
+  /// Rise/fall asymmetry: pull-up resistance = output_res * rise_factor,
+  /// pull-down = output_res / rise_factor.  Drives the rise-fall corner
+  /// divergence the paper reports at < 5 ps skew.
+  double rise_fall_ratio = 1.08;
+
+  Ps slew_limit = 120.0;  ///< max 10-90% slew anywhere in the network
+  Ff cap_limit = 0.0;     ///< total network capacitance budget
+
+  CompositeElectrical electrical(const CompositeBuffer& b) const {
+    const InverterType& cell = inverters.at(static_cast<std::size_t>(b.inverter_type));
+    return CompositeElectrical{cell.input_cap * b.count, cell.output_cap * b.count,
+                               cell.output_res / b.count, cell.intrinsic_delay};
+  }
+};
+
+/// The inverter library used in the ISPD'09 contest per Table I of the
+/// paper: one large cell and one small cell; eight parallel small inverters
+/// dominate one large inverter in both resistance and capacitance.
+Technology ispd09_technology();
+
+}  // namespace contango

@@ -1,0 +1,90 @@
+#include "rctree/extract.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace contango {
+
+StagedNetlist extract_stages(const ClockTree& tree, const Benchmark& bench,
+                             const ExtractOptions& options) {
+  StagedNetlist net;
+  if (tree.empty()) return net;
+
+  struct Location {
+    int stage = -1;
+    int rc = -1;
+  };
+  std::unordered_map<NodeId, Location> where;  ///< tree node -> its RC node
+
+  // Stage for the clock source.
+  {
+    Stage s;
+    s.driver = tree.root();
+    s.nodes.push_back(RcNode{0.0, -1, 0.0});
+    net.stages.push_back(std::move(s));
+    where[tree.root()] = Location{0, 0};
+  }
+  std::unordered_map<NodeId, int> stage_of_driver{{tree.root(), 0}};
+
+  for (NodeId id : tree.topological_order()) {
+    if (id == tree.root()) continue;
+    const TreeNode& n = tree.node(id);
+    const Location up = where.at(n.parent);
+    Stage& stage = net.stages[static_cast<std::size_t>(up.stage)];
+
+    // Discretize the edge above `id` into a pi-ladder.
+    const Um len = tree.edge_length(id);
+    const WireType& wire = bench.tech.wires.at(static_cast<std::size_t>(n.wire_width));
+    const KOhm total_r = std::max(wire.r_per_um * len, 1e-9);
+    const Ff total_c = wire.c_per_um * len;
+    const int segs = std::max(1, static_cast<int>(std::ceil(len / options.max_segment_um)));
+    int prev = up.rc;
+    for (int k = 0; k < segs; ++k) {
+      const Ff seg_c = total_c / segs;
+      // pi-model: half the segment cap at each end.
+      stage.nodes[static_cast<std::size_t>(prev)].cap += seg_c / 2.0;
+      RcNode rc;
+      rc.parent = prev;
+      rc.res = total_r / segs;
+      rc.cap = seg_c / 2.0;
+      prev = static_cast<int>(stage.nodes.size());
+      stage.nodes.push_back(rc);
+    }
+    const int end_rc = prev;
+
+    switch (n.kind) {
+      case NodeKind::kSink: {
+        stage.nodes[static_cast<std::size_t>(end_rc)].cap +=
+            bench.sinks.at(static_cast<std::size_t>(n.sink_index)).cap;
+        stage.taps.push_back(Tap{id, end_rc, true, n.sink_index});
+        where[id] = Location{up.stage, end_rc};
+        break;
+      }
+      case NodeKind::kBuffer: {
+        const CompositeElectrical e = bench.tech.electrical(n.buffer);
+        stage.nodes[static_cast<std::size_t>(end_rc)].cap += e.input_cap;
+        stage.taps.push_back(Tap{id, end_rc, false, -1});
+        // Open a new stage rooted at this buffer's output.
+        Stage next;
+        next.driver = id;
+        next.nodes.push_back(RcNode{e.output_cap, -1, 0.0});
+        const int next_index = static_cast<int>(net.stages.size());
+        net.stages.push_back(std::move(next));
+        net.stages[static_cast<std::size_t>(up.stage)].downstream_stages.push_back(next_index);
+        stage_of_driver[id] = next_index;
+        where[id] = Location{next_index, 0};
+        break;
+      }
+      case NodeKind::kInternal: {
+        where[id] = Location{up.stage, end_rc};
+        break;
+      }
+      case NodeKind::kSource:
+        throw std::logic_error("extract_stages: source below root");
+    }
+  }
+  return net;
+}
+
+}  // namespace contango

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/benchmark.h"
+#include "rctree/clocktree.h"
+
+namespace contango {
+
+/// One node of a stage-local RC tree.  Node 0 is the driver output; every
+/// other node connects to its parent (parent index < own index) through a
+/// series resistance.  Grounded capacitance sits at the node.
+struct RcNode {
+  Ff cap = 0.0;
+  int parent = -1;
+  KOhm res = 0.0;  ///< resistance to parent; unused for node 0
+};
+
+/// A measurement point inside a stage: a clock sink or the input pin of a
+/// downstream buffer.
+struct Tap {
+  NodeId tree_node = kNoNode;
+  int rc_index = 0;
+  bool is_sink = false;
+  int sink_index = -1;  ///< valid when is_sink
+};
+
+/// A buffered clock tree splits into stages at every buffer: each stage is
+/// the RC tree between one driver (clock source or buffer output) and the
+/// next row of buffer inputs / sinks.  Circuit evaluation works stage by
+/// stage, propagating arrival events through buffers.
+struct Stage {
+  NodeId driver = kNoNode;  ///< tree node acting as the driver (source/buffer)
+  std::vector<RcNode> nodes;
+  std::vector<Tap> taps;
+  std::vector<int> downstream_stages;  ///< stage indices driven from this one
+
+  Ff total_cap() const {
+    Ff c = 0.0;
+    for (const RcNode& n : nodes) c += n.cap;
+    return c;
+  }
+};
+
+struct StagedNetlist {
+  std::vector<Stage> stages;  ///< stage 0 is rooted at the clock source
+
+  std::size_t node_count() const {
+    std::size_t n = 0;
+    for (const Stage& s : stages) n += s.nodes.size();
+    return n;
+  }
+};
+
+/// Extraction options.  Long wires are discretized into pi-segments of at
+/// most `max_segment_um` so resistive shielding is represented (closed-form
+/// Elmore misses it; the transient engine needs the laddering anyway).
+struct ExtractOptions {
+  Um max_segment_um = 50.0;
+};
+
+/// Builds the staged RC netlist of a routed, buffered clock tree.
+StagedNetlist extract_stages(const ClockTree& tree, const Benchmark& bench,
+                             const ExtractOptions& options = {});
+
+}  // namespace contango

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+namespace contango {
+
+/// Reads an integer environment variable, returning fallback when the
+/// variable is unset or unparsable.  Benchmark drivers use these to scale
+/// experiments (e.g. CONTANGO_MAX_SINKS for the Table V sweep).
+long env_long(const char* name, long fallback);
+
+/// Reads a floating-point environment variable with a fallback.
+double env_double(const char* name, double fallback);
+
+/// Reads a string environment variable with a fallback.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// True when the variable is set to a truthy value (anything but "", "0",
+/// "false", "off", "no").
+bool env_flag(const char* name);
+
+}  // namespace contango

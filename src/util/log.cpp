@@ -1,0 +1,61 @@
+#include "util/log.h"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+namespace contango {
+namespace {
+
+LogLevel g_level = [] {
+  if (const char* env = std::getenv("CONTANGO_LOG")) {
+    if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+    if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+    if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+    if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+    if (std::strcmp(env, "silent") == 0) return LogLevel::kSilent;
+  }
+  return LogLevel::kWarn;
+}();
+
+void vlog(LogLevel level, const char* tag, const char* fmt, va_list args) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] ", tag);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+void Log::set_level(LogLevel level) { g_level = level; }
+
+void Log::debug(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  vlog(LogLevel::kDebug, "debug", fmt, args);
+  va_end(args);
+}
+
+void Log::info(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  vlog(LogLevel::kInfo, "info", fmt, args);
+  va_end(args);
+}
+
+void Log::warn(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  vlog(LogLevel::kWarn, "warn", fmt, args);
+  va_end(args);
+}
+
+void Log::error(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  vlog(LogLevel::kError, "error", fmt, args);
+  va_end(args);
+}
+
+}  // namespace contango

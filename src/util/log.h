@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace contango {
+
+/// Severity levels for the global logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kSilent = 4 };
+
+/// Minimal global logger.  Contango is a library first; all logging goes to
+/// stderr and is filtered by a process-wide level so that benchmark drivers
+/// can silence the flow.  Not thread-safe by design (the flow is sequential).
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// printf-style logging; the message is prefixed with the severity tag.
+  static void debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+  static void info(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+  static void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+  static void error(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+};
+
+}  // namespace contango

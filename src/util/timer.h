@@ -1,0 +1,24 @@
+#pragma once
+
+#include <chrono>
+
+namespace contango {
+
+/// Wall-clock stopwatch for runtime columns in the experiment tables.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed wall time in seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace contango

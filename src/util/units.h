@@ -1,0 +1,36 @@
+#pragma once
+
+// Unit conventions used throughout Contango.
+//
+// All physical quantities are plain doubles in a consistent unit system
+// chosen so that no conversion factors appear in delay formulas:
+//
+//   time         : picoseconds (ps)
+//   capacitance  : femtofarads (fF)
+//   resistance   : kilo-ohms   (kOhm)
+//   distance     : micrometers (um)
+//   voltage      : volts       (V)
+//
+// The key identity is  1 kOhm * 1 fF = 1e3 * 1e-15 s = 1 ps,
+// so Elmore terms R*C come out directly in ps.
+
+namespace contango {
+
+using Ps = double;    ///< time in picoseconds
+using Ff = double;    ///< capacitance in femtofarads
+using KOhm = double;  ///< resistance in kilo-ohms
+using Um = double;    ///< distance in micrometers
+using Volt = double;  ///< voltage in volts
+
+/// Converts a resistance given in plain ohms to the internal kOhm unit.
+constexpr KOhm ohms(double r_ohm) { return r_ohm * 1e-3; }
+
+/// ln(9): scale factor between an RC time constant and the 10%-90% slew
+/// of a single-pole exponential response.
+inline constexpr double kLn9 = 2.1972245773362196;
+
+/// ln(2): scale factor between an RC time constant and the 50% crossing
+/// of a single-pole exponential response.
+inline constexpr double kLn2 = 0.6931471805599453;
+
+}  // namespace contango

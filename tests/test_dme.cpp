@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/elmore.h"
+#include "cts/dme.h"
+#include "netlist/generators.h"
+#include "rctree/extract.h"
+#include "util/rng.h"
+
+namespace contango {
+namespace {
+
+Benchmark tiny_bench(std::vector<Point> sinks, Ff cap = 10.0) {
+  Benchmark b;
+  b.name = "tiny";
+  b.die = Rect{0, 0, 4000, 4000};
+  b.source = Point{2000, 0};
+  b.tech = ispd09_technology();
+  b.tech.cap_limit = 1e9;
+  int i = 0;
+  for (const Point& p : sinks) {
+    b.sinks.push_back(Sink{"s" + std::to_string(i++), p, cap});
+  }
+  return b;
+}
+
+/// Elmore latency of every sink of an unbuffered tree, computed through the
+/// staged extraction (single stage, driven by the source).
+std::vector<Ps> elmore_latencies(const ClockTree& tree, const Benchmark& bench) {
+  const StagedNetlist net = extract_stages(tree, bench);
+  EXPECT_EQ(net.stages.size(), 1u);
+  const ElmoreStage e(net.stages[0]);
+  std::vector<Ps> lat(bench.sinks.size(), -1.0);
+  for (const Tap& tap : net.stages[0].taps) {
+    if (tap.is_sink) {
+      lat[static_cast<std::size_t>(tap.sink_index)] =
+          e.tau(tap.rc_index) + bench.source_res * e.total_cap();
+    }
+  }
+  return lat;
+}
+
+TEST(ZeroSkewMerge, BalancedSymmetricCase) {
+  // Identical subtrees: the tap must land in the middle.
+  const ZstMerge m = zero_skew_merge(100.0, 50.0, 100.0, 50.0, 200.0, 1e-4, 0.2);
+  EXPECT_NEAR(m.e_a, 100.0, 1e-6);
+  EXPECT_NEAR(m.e_b, 100.0, 1e-6);
+}
+
+TEST(ZeroSkewMerge, FasterSideGetsMoreWire) {
+  const ZstMerge m = zero_skew_merge(/*t_a=*/150.0, 50.0, /*t_b=*/100.0, 50.0,
+                                     200.0, 1e-4, 0.2);
+  EXPECT_LT(m.e_a, m.e_b);
+  // Both sides end at the same delay.
+  const double da = 150.0 + 1e-4 * m.e_a * (0.2 * m.e_a / 2.0 + 50.0);
+  const double db = 100.0 + 1e-4 * m.e_b * (0.2 * m.e_b / 2.0 + 50.0);
+  EXPECT_NEAR(da, db, 1e-6);
+  EXPECT_NEAR(m.delay, da, 1e-6);
+}
+
+TEST(ZeroSkewMerge, ExtremeImbalanceForcesSnaking) {
+  // Side a is so slow that even tapping at a's root cannot balance: wire to
+  // b must exceed the distance (e_a + e_b > dist).
+  const ZstMerge m = zero_skew_merge(/*t_a=*/5000.0, 50.0, /*t_b=*/10.0, 50.0,
+                                     100.0, 1e-4, 0.2);
+  EXPECT_DOUBLE_EQ(m.e_a, 0.0);
+  EXPECT_GT(m.e_b, 100.0);
+  const double db = 10.0 + 1e-4 * m.e_b * (0.2 * m.e_b / 2.0 + 50.0);
+  EXPECT_NEAR(db, 5000.0, 1e-6);
+}
+
+TEST(ZeroSkewMerge, ZeroDistanceDegenerate) {
+  const ZstMerge m = zero_skew_merge(100.0, 50.0, 80.0, 50.0, 0.0, 1e-4, 0.2);
+  EXPECT_DOUBLE_EQ(m.e_a, 0.0);
+  EXPECT_GT(m.e_b, 0.0);
+  EXPECT_NEAR(m.delay, 100.0, 1e-9);
+}
+
+DmeOptions elmore_options() {
+  DmeOptions options;
+  options.balance = DmeBalance::kElmore;
+  return options;
+}
+
+TEST(BuildZst, TwoSinksZeroElmoreSkew) {
+  const Benchmark bench = tiny_bench({{500, 1000}, {3500, 1200}});
+  const ClockTree tree = build_zst(bench, elmore_options());
+  tree.validate();
+  const auto lat = elmore_latencies(tree, bench);
+  ASSERT_EQ(lat.size(), 2u);
+  EXPECT_GT(lat[0], 0.0);
+  EXPECT_NEAR(lat[0], lat[1], std::max(1e-6, 1e-4 * lat[0]));
+}
+
+TEST(BuildZst, AsymmetricCapsStillBalance) {
+  Benchmark bench = tiny_bench({{500, 1000}, {3500, 1200}, {700, 3000}});
+  bench.sinks[0].cap = 3.0;
+  bench.sinks[1].cap = 34.0;
+  bench.sinks[2].cap = 18.0;
+  const ClockTree tree = build_zst(bench, elmore_options());
+  const auto lat = elmore_latencies(tree, bench);
+  const double lo = *std::min_element(lat.begin(), lat.end());
+  const double hi = *std::max_element(lat.begin(), lat.end());
+  EXPECT_GT(lo, 0.0);
+  EXPECT_NEAR(hi, lo, std::max(1e-6, 1e-4 * hi));
+}
+
+TEST(BuildZst, AllSinksPresentExactlyOnce) {
+  const Benchmark bench = generate_ispd_like(ispd09_suite_params(0));
+  const ClockTree tree = build_zst(bench);
+  std::vector<int> count(bench.sinks.size(), 0);
+  for (NodeId id : tree.topological_order()) {
+    if (tree.node(id).is_sink()) {
+      ++count[static_cast<std::size_t>(tree.node(id).sink_index)];
+    }
+  }
+  for (std::size_t i = 0; i < count.size(); ++i) {
+    EXPECT_EQ(count[i], 1) << "sink " << i;
+  }
+}
+
+TEST(BuildZst, SinkPositionsPreserved) {
+  const Benchmark bench = generate_ispd_like(ispd09_suite_params(3));
+  const ClockTree tree = build_zst(bench);
+  for (NodeId id : tree.topological_order()) {
+    const TreeNode& n = tree.node(id);
+    if (n.is_sink()) {
+      EXPECT_TRUE(near(n.pos, bench.sinks[static_cast<std::size_t>(n.sink_index)].position, 1e-6));
+    }
+  }
+}
+
+/// Property sweep: random sink sets of various sizes end Elmore-balanced.
+class ZstProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZstProperty, ZeroElmoreSkewOnRandomInstances) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 991);
+  std::vector<Point> pts;
+  for (int i = 0; i < n; ++i) {
+    pts.push_back(Point{rng.uniform(0, 4000), rng.uniform(0, 4000)});
+  }
+  Benchmark bench = tiny_bench(pts);
+  for (Sink& s : bench.sinks) s.cap = rng.uniform(3.0, 35.0);
+
+  const ClockTree tree = build_zst(bench, elmore_options());
+  tree.validate();
+  const auto lat = elmore_latencies(tree, bench);
+  const double lo = *std::min_element(lat.begin(), lat.end());
+  const double hi = *std::max_element(lat.begin(), lat.end());
+  EXPECT_GT(lo, 0.0);
+  // Zero skew up to numerical tolerance of the merge solve and the
+  // segmented extraction.
+  EXPECT_LT(hi - lo, std::max(1e-3, 2e-4 * hi));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ZstProperty,
+                         ::testing::Values(2, 3, 5, 8, 16, 33, 64, 100, 211));
+
+TEST(BuildZst, WirelengthIsReasonable) {
+  // Sanity: the ZST wirelength must stay within a small factor of the
+  // Steiner-tree scaling law estimate (gross blowups indicate topology or
+  // merge bugs).
+  const Benchmark bench = generate_ispd_like(ispd09_suite_params(0));
+  const ClockTree tree = build_zst(bench);
+  const double est = 0.68 * std::sqrt(static_cast<double>(bench.sinks.size()) *
+                                      bench.die.area());
+  EXPECT_LT(tree.total_wirelength(), 3.0 * est);
+  EXPECT_GT(tree.total_wirelength(), 0.5 * est);
+}
+
+TEST(BuildZst, RootChainsToSource) {
+  const Benchmark bench = tiny_bench({{500, 1000}, {3500, 1200}});
+  const ClockTree tree = build_zst(bench);
+  EXPECT_EQ(tree.node(tree.root()).pos, bench.source);
+  EXPECT_EQ(tree.node(tree.root()).children.size(), 1u);
+}
+
+TEST(PathlengthMerge, BalancedAndSnaked) {
+  // Equal lengths: split in the middle.
+  ZstMerge m = pathlength_merge(1000.0, 1000.0, 200.0);
+  EXPECT_DOUBLE_EQ(m.e_a, 100.0);
+  EXPECT_DOUBLE_EQ(m.e_b, 100.0);
+  EXPECT_DOUBLE_EQ(m.delay, 1100.0);
+  // Side a much longer: tap at a's root, snake on b.
+  m = pathlength_merge(2000.0, 1000.0, 200.0);
+  EXPECT_DOUBLE_EQ(m.e_a, 0.0);
+  EXPECT_DOUBLE_EQ(m.e_b, 1000.0);
+  EXPECT_DOUBLE_EQ(m.delay, 2000.0);
+  // Asymmetric but within reach.
+  m = pathlength_merge(1000.0, 1100.0, 200.0);
+  EXPECT_DOUBLE_EQ(m.e_a, 150.0);
+  EXPECT_DOUBLE_EQ(m.e_b, 50.0);
+  EXPECT_DOUBLE_EQ(m.delay, 1150.0);
+}
+
+/// Property: pathlength-balanced trees (the flow default) give every sink
+/// an equal root-to-sink electrical length.
+class PathlengthZstProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathlengthZstProperty, EqualPathLengths) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 317);
+  std::vector<Point> pts;
+  for (int i = 0; i < n; ++i) {
+    pts.push_back(Point{rng.uniform(0, 4000), rng.uniform(0, 4000)});
+  }
+  const Benchmark bench = tiny_bench(pts);
+  const ClockTree tree = build_zst(bench);  // default = kPathLength
+  tree.validate();
+  double lo = 1e300, hi = 0.0;
+  for (NodeId id : tree.topological_order()) {
+    if (!tree.node(id).is_sink()) continue;
+    const Um len = tree.path_length(id);
+    lo = std::min(lo, len);
+    hi = std::max(hi, len);
+  }
+  EXPECT_GT(lo, 0.0);
+  EXPECT_LT(hi - lo, 1e-6 * hi + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PathlengthZstProperty,
+                         ::testing::Values(2, 5, 17, 50, 121));
+
+}  // namespace
+}  // namespace contango

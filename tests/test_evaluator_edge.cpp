@@ -1,0 +1,177 @@
+// Edge cases and failure injection for the evaluation stack: degenerate
+// geometry, missing sinks, cap/slew gates, corner bookkeeping, and the
+// balanced delay-contour inserter's invariants.
+
+#include <gtest/gtest.h>
+
+#include "analysis/evaluate.h"
+#include "cts/balanced_insertion.h"
+#include "cts/dme.h"
+#include "netlist/generators.h"
+#include "rctree/extract.h"
+
+namespace contango {
+namespace {
+
+Benchmark two_sink_bench() {
+  Benchmark b;
+  b.name = "edge";
+  b.die = Rect{0, 0, 2000, 2000};
+  b.source = Point{0, 0};
+  b.tech = ispd09_technology();
+  b.tech.cap_limit = 1e6;
+  b.sinks.push_back(Sink{"s0", Point{800, 200}, 10.0});
+  b.sinks.push_back(Sink{"s1", Point{800, 900}, 10.0});
+  return b;
+}
+
+TEST(EvaluatorEdge, MissingSinkReported) {
+  Benchmark bench = two_sink_bench();
+  ClockTree tree;
+  const NodeId root = tree.add_source(bench.source);
+  const NodeId s0 = tree.add_child(root, NodeKind::kSink, {800, 200});
+  tree.node(s0).sink_index = 0;
+  // Sink 1 is absent from the tree.
+  Evaluator eval(bench);
+  const EvalResult r = eval.evaluate(tree);
+  EXPECT_FALSE(r.all_sinks_reached);
+  EXPECT_FALSE(r.legal());
+}
+
+TEST(EvaluatorEdge, ZeroLengthEdgesSurvive) {
+  Benchmark bench = two_sink_bench();
+  bench.sinks[0].position = bench.source;  // sink exactly at the source
+  ClockTree tree;
+  const NodeId root = tree.add_source(bench.source);
+  const NodeId s0 = tree.add_child(root, NodeKind::kSink, bench.source);
+  tree.node(s0).sink_index = 0;
+  const NodeId s1 = tree.add_child(root, NodeKind::kSink, {800, 900});
+  tree.node(s1).sink_index = 1;
+  Evaluator eval(bench);
+  const EvalResult r = eval.evaluate(tree);
+  EXPECT_TRUE(r.all_sinks_reached);
+  EXPECT_GT(r.nominal_skew, 0.0);  // degenerate sink is much faster
+}
+
+TEST(EvaluatorEdge, CapViolationGate) {
+  Benchmark bench = two_sink_bench();
+  bench.tech.cap_limit = 10.0;  // absurdly tight
+  ClockTree tree = build_zst(bench);
+  Evaluator eval(bench);
+  const EvalResult r = eval.evaluate(tree);
+  EXPECT_TRUE(r.cap_violation);
+  EXPECT_FALSE(r.legal());
+}
+
+TEST(EvaluatorEdge, SlewViolationOnLongUnbufferedWire) {
+  Benchmark bench = two_sink_bench();
+  bench.die = Rect{0, 0, 20000, 2000};
+  bench.sinks[0].position = Point{15000, 100};
+  bench.sinks[1].position = Point{15000, 900};
+  ClockTree tree = build_zst(bench);  // 15 mm unbuffered: slew blows up
+  Evaluator eval(bench);
+  const EvalResult r = eval.evaluate(tree);
+  EXPECT_TRUE(r.slew_violation);
+}
+
+TEST(EvaluatorEdge, CornerOrderingAndClr) {
+  Benchmark bench = two_sink_bench();
+  ClockTree tree = build_zst(bench);
+  Evaluator eval(bench);
+  const EvalResult r = eval.evaluate(tree);
+  ASSERT_EQ(r.corners.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.corners[0].vdd, 1.2);
+  EXPECT_DOUBLE_EQ(r.corners[1].vdd, 1.0);
+  // Low corner slower; CLR = max@low - min@nominal >= skew.
+  EXPECT_GE(r.corners[1].max_latency(), r.corners[0].max_latency());
+  EXPECT_GE(r.clr, r.nominal_skew - 1e-9);
+  EXPECT_NEAR(r.clr, r.corners[1].max_latency() - r.corners[0].min_latency(), 1e-12);
+}
+
+TEST(EvaluatorEdge, SingleCornerFallsBackToSkew) {
+  Benchmark bench = two_sink_bench();
+  bench.tech.corners = {1.2};
+  ClockTree tree = build_zst(bench);
+  Evaluator eval(bench);
+  const EvalResult r = eval.evaluate(tree);
+  ASSERT_EQ(r.corners.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.clr, r.nominal_skew);
+}
+
+TEST(EvaluatorEdge, SimRunCounterAndReset) {
+  Benchmark bench = two_sink_bench();
+  ClockTree tree = build_zst(bench);
+  Evaluator eval(bench);
+  eval.evaluate(tree);
+  eval.evaluate(tree);
+  EXPECT_EQ(eval.sim_runs(), 2);
+  eval.reset_sim_runs();
+  EXPECT_EQ(eval.sim_runs(), 0);
+}
+
+TEST(BalancedInsertion, EqualCountsEvenOnSkewedTrees) {
+  // The inserter's contract: exactly n buffers per source-to-sink path,
+  // even after the tree is deliberately unbalanced.
+  Benchmark bench = two_sink_bench();
+  bench.die = Rect{0, 0, 9000, 9000};
+  bench.sinks.clear();
+  for (int i = 0; i < 12; ++i) {
+    bench.sinks.push_back(Sink{"s" + std::to_string(i),
+                               Point{300.0 + 700.0 * i, 400.0 + 600.0 * (i % 4)},
+                               10.0});
+  }
+  ClockTree tree = build_zst(bench);
+  int poked = 0;
+  for (NodeId id : tree.topological_order()) {
+    if (id != tree.root() && poked++ % 4 == 0) tree.node(id).snake += 500.0;
+  }
+  const auto result = insert_buffers_balanced(tree, bench, CompositeBuffer{0, 8});
+  EXPECT_GT(result.stages, 0);
+  for (NodeId id : tree.topological_order()) {
+    if (tree.node(id).is_sink()) {
+      EXPECT_EQ(tree.inversion_parity(id), result.stages);
+    }
+  }
+}
+
+TEST(BalancedInsertion, RespectsMaxStages) {
+  Benchmark bench = two_sink_bench();
+  ClockTree tree = build_zst(bench);
+  BalancedInsertionOptions options;
+  options.max_stages = 3;
+  options.stage_cap = 1.0;  // unreachable budget: must stop at max_stages
+  const auto result = insert_buffers_balanced(tree, bench, CompositeBuffer{0, 8}, options);
+  EXPECT_EQ(result.stages, 3);
+}
+
+TEST(ExtractEdge, EmptyTree) {
+  Benchmark bench = two_sink_bench();
+  ClockTree tree;
+  const StagedNetlist net = extract_stages(tree, bench);
+  EXPECT_TRUE(net.stages.empty());
+}
+
+TEST(ExtractEdge, DeepBufferChain) {
+  // A chain of buffers every 50 um: stage count equals buffer count + 1.
+  Benchmark bench = two_sink_bench();
+  ClockTree tree;
+  const NodeId root = tree.add_source(bench.source);
+  const NodeId s0 = tree.add_child(root, NodeKind::kSink, {800, 200});
+  tree.node(s0).sink_index = 0;
+  const NodeId s1 = tree.add_child(root, NodeKind::kSink, {800, 900});
+  tree.node(s1).sink_index = 1;
+  // Repeatedly split the (shrinking) edge directly above the sink.
+  for (int k = 0; k < 10; ++k) {
+    tree.insert_buffer(s0, 40.0, CompositeBuffer{0, 1});
+  }
+  const StagedNetlist net = extract_stages(tree, bench);
+  EXPECT_EQ(net.stages.size(), 11u);
+  Evaluator eval(bench);
+  const EvalResult r = eval.evaluate(tree);
+  EXPECT_TRUE(r.all_sinks_reached);
+  // Ten inverters = even parity: both sinks keep positive polarity.
+  EXPECT_EQ(tree.inversion_parity(s0) % 2, 0);
+}
+
+}  // namespace
+}  // namespace contango

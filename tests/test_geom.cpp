@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "geom/segment.h"
+#include "geom/tilted.h"
+
+namespace contango {
+namespace {
+
+TEST(Point, ManhattanDistance) {
+  EXPECT_DOUBLE_EQ(manhattan({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(manhattan({-1, -1}, {1, 1}), 4.0);
+  EXPECT_DOUBLE_EQ(manhattan({5, 5}, {5, 5}), 0.0);
+}
+
+TEST(Point, MidpointAndNear) {
+  const Point m = midpoint({0, 0}, {10, 4});
+  EXPECT_DOUBLE_EQ(m.x, 5.0);
+  EXPECT_DOUBLE_EQ(m.y, 2.0);
+  EXPECT_TRUE(near({1.0, 1.0}, {1.0 + 1e-9, 1.0 - 1e-9}));
+  EXPECT_FALSE(near({1.0, 1.0}, {1.1, 1.0}));
+}
+
+TEST(Rect, ContainsAndStrict) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_TRUE(r.contains(Point{10, 10}));
+  EXPECT_FALSE(r.contains_strict(Point{0, 5}));
+  EXPECT_TRUE(r.contains_strict(Point{5, 5}));
+  EXPECT_FALSE(r.contains(Point{10.01, 5}));
+}
+
+TEST(Rect, IntersectionAndOverlap) {
+  const Rect a{0, 0, 10, 10};
+  const Rect b{5, 5, 15, 15};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(a.overlaps_interior(b));
+  const Rect i = a.intersection(b);
+  EXPECT_EQ(i, (Rect{5, 5, 10, 10}));
+
+  const Rect c{10, 0, 20, 10};  // shares the x=10 edge with a
+  EXPECT_TRUE(a.intersects(c));
+  EXPECT_FALSE(a.overlaps_interior(c));
+}
+
+TEST(Rect, Abutment) {
+  const Rect a{0, 0, 10, 10};
+  EXPECT_TRUE(a.abuts(Rect{10, 2, 20, 8}));    // right edge
+  EXPECT_TRUE(a.abuts(Rect{-5, 10, 5, 20}));   // top edge
+  EXPECT_FALSE(a.abuts(Rect{10, 10, 20, 20})); // corner touch only
+  EXPECT_FALSE(a.abuts(Rect{5, 5, 15, 15}));   // overlapping
+  EXPECT_FALSE(a.abuts(Rect{11, 0, 20, 10}));  // disjoint
+}
+
+TEST(Rect, ManhattanDistanceToPoint) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_DOUBLE_EQ(r.manhattan_distance(Point{5, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(r.manhattan_distance(Point{12, 5}), 2.0);
+  EXPECT_DOUBLE_EQ(r.manhattan_distance(Point{12, 13}), 5.0);
+  EXPECT_EQ(r.clamp(Point{12, 13}), (Point{10, 10}));
+}
+
+TEST(Segment, CrossesInterior) {
+  const Rect r{10, 10, 20, 20};
+  // Passes through the middle.
+  EXPECT_TRUE((HVSegment{{0, 15}, {30, 15}}).crosses_interior(r));
+  // Runs along the boundary: legal.
+  EXPECT_FALSE((HVSegment{{0, 10}, {30, 10}}).crosses_interior(r));
+  EXPECT_FALSE((HVSegment{{20, 0}, {20, 30}}).crosses_interior(r));
+  // Stops at the boundary.
+  EXPECT_FALSE((HVSegment{{0, 15}, {10, 15}}).crosses_interior(r));
+  // Enters the interior and stops inside.
+  EXPECT_TRUE((HVSegment{{0, 15}, {15, 15}}).crosses_interior(r));
+  // Entirely inside.
+  EXPECT_TRUE((HVSegment{{12, 15}, {18, 15}}).crosses_interior(r));
+  // Vertical crossing.
+  EXPECT_TRUE((HVSegment{{15, 0}, {15, 30}}).crosses_interior(r));
+  // Misses entirely.
+  EXPECT_FALSE((HVSegment{{0, 5}, {30, 5}}).crosses_interior(r));
+}
+
+TEST(Segment, LShapeConfigs) {
+  const Point a{0, 0}, b{10, 20};
+  const auto hv = l_shape(a, b, LConfig::kHV);
+  ASSERT_EQ(hv.size(), 2u);
+  EXPECT_EQ(hv[0].b, (Point{10, 0}));
+  const auto vh = l_shape(a, b, LConfig::kVH);
+  ASSERT_EQ(vh.size(), 2u);
+  EXPECT_EQ(vh[0].b, (Point{0, 20}));
+
+  // Collinear becomes a single segment.
+  const auto flat = l_shape({0, 0}, {10, 0}, LConfig::kHV);
+  ASSERT_EQ(flat.size(), 1u);
+  EXPECT_DOUBLE_EQ(flat[0].length(), 10.0);
+}
+
+TEST(Segment, LShapeObstacleOverlap) {
+  // Obstacle sits on the HV elbow path but not the VH path.
+  const Rect obs{4, -2, 6, 2};
+  const Point a{0, 0}, b{10, 20};
+  EXPECT_GT(l_shape_overlap(a, b, LConfig::kHV, obs), 0.0);
+  EXPECT_DOUBLE_EQ(l_shape_overlap(a, b, LConfig::kVH, obs), 0.0);
+}
+
+TEST(Segment, PolylineLengthAndPointAlong) {
+  const std::vector<Point> poly{{0, 0}, {10, 0}, {10, 10}};
+  EXPECT_DOUBLE_EQ(polyline_length(poly), 20.0);
+  EXPECT_EQ(point_along(poly, 0.0), (Point{0, 0}));
+  EXPECT_EQ(point_along(poly, 5.0), (Point{5, 0}));
+  EXPECT_EQ(point_along(poly, 15.0), (Point{10, 5}));
+  EXPECT_EQ(point_along(poly, 99.0), (Point{10, 10}));
+}
+
+TEST(Tilted, RoundTrip) {
+  const Point p{3.5, -2.25};
+  EXPECT_TRUE(near(TiltedPoint::from(p).to_point(), p));
+}
+
+TEST(Tilted, DistanceMatchesManhattan) {
+  const Point a{1, 2}, b{7, -3};
+  const TiltedRect ra = TiltedRect::from_point(a);
+  const TiltedRect rb = TiltedRect::from_point(b);
+  EXPECT_DOUBLE_EQ(ra.distance(rb), manhattan(a, b));
+  EXPECT_DOUBLE_EQ(ra.distance(b), manhattan(a, b));
+}
+
+TEST(Tilted, MergeRegionOfTwoPoints) {
+  // Locus of points at distance 5 from a and 5 from b with |ab|=10: the
+  // classic 45-degree merging segment.
+  const Point a{0, 0}, b{10, 0};
+  const TiltedRect region = merge_region(TiltedRect::from_point(a), 5.0,
+                                         TiltedRect::from_point(b), 5.0);
+  ASSERT_TRUE(region.valid());
+  const Point mid = region.any_point();
+  EXPECT_NEAR(manhattan(a, mid), 5.0, 1e-9);
+  EXPECT_NEAR(manhattan(b, mid), 5.0, 1e-9);
+  // Every corner of the region keeps the distances.
+  const Point c1 = TiltedPoint{region.ulo, region.vlo}.to_point();
+  const Point c2 = TiltedPoint{region.uhi, region.vhi}.to_point();
+  EXPECT_NEAR(manhattan(a, c1), 5.0, 1e-9);
+  EXPECT_NEAR(manhattan(b, c2), 5.0, 1e-9);
+}
+
+TEST(Tilted, MergeRegionUnbalanced) {
+  const Point a{0, 0}, b{10, 0};
+  const TiltedRect region = merge_region(TiltedRect::from_point(a), 2.0,
+                                         TiltedRect::from_point(b), 8.0);
+  ASSERT_TRUE(region.valid());
+  const Point p = region.closest_to(a);
+  EXPECT_NEAR(manhattan(a, p), 2.0, 1e-9);
+  EXPECT_LE(manhattan(b, p), 8.0 + 1e-9);
+}
+
+TEST(Tilted, MergeRegionWithSlackIsTwoDimensional) {
+  // Radii sum exceeds the distance: the intersection is a 2-D region and
+  // any point of it is within both radii.
+  const Point a{0, 0}, b{10, 0};
+  const TiltedRect region = merge_region(TiltedRect::from_point(a), 8.0,
+                                         TiltedRect::from_point(b), 8.0);
+  ASSERT_TRUE(region.valid());
+  EXPECT_GT(region.uhi - region.ulo, 0.0);
+  EXPECT_GT(region.vhi - region.vlo, 0.0);
+  const Point any = region.any_point();
+  EXPECT_LE(manhattan(a, any), 8.0 + 1e-9);
+  EXPECT_LE(manhattan(b, any), 8.0 + 1e-9);
+}
+
+TEST(Tilted, ClosestToClampsIntoRegion) {
+  const TiltedRect region = merge_region(TiltedRect::from_point({0, 0}), 4.0,
+                                         TiltedRect::from_point({8, 0}), 4.0);
+  const Point far{100.0, 50.0};
+  const Point inside = region.closest_to(far);
+  EXPECT_LE(region.distance(inside), 1e-9);
+}
+
+}  // namespace
+}  // namespace contango

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "cts/dme.h"
+#include "io/svg.h"
+#include "io/table.h"
+#include "netlist/generators.h"
+#include "util/env.h"
+#include "util/log.h"
+
+namespace contango {
+namespace {
+
+TEST(TextTable, FormatsAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  const std::string s = t.to_string();
+  // Header, separator, two rows.
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  // Four lines.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(TextTable, MissingCellsPadAndExtraCellsThrow) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});  // padded
+  EXPECT_THROW(t.add_row({"1", "2", "3", "4"}), std::invalid_argument);
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
+}
+
+TEST(Svg, RendersAllElementClasses) {
+  const Benchmark bench = generate_ispd_like(ispd09_suite_params(3));
+  ClockTree tree = build_zst(bench);
+  // Give one node a buffer and one edge a snake so all markers render.
+  for (NodeId id : tree.topological_order()) {
+    if (id != tree.root() && !tree.node(id).is_sink() &&
+        tree.node(id).children.size() == 1) {
+      tree.make_buffer(id, CompositeBuffer{0, 8});
+      tree.node(id).snake = 100.0;
+      break;
+    }
+  }
+  std::vector<Ps> slack(tree.size(), 1.0);
+  const std::string svg = render_svg(bench, tree, slack);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);  // wires
+  EXPECT_NE(svg.find("<rect"), std::string::npos);      // obstacles/buffers
+  EXPECT_NE(svg.find("<path"), std::string::npos);      // sink crosses
+  EXPECT_NE(svg.find("rgb("), std::string::npos);       // slack gradient
+}
+
+TEST(Svg, SlackGradientSpansRedToGreen) {
+  Benchmark bench;
+  bench.name = "svg";
+  bench.die = Rect{0, 0, 1000, 1000};
+  bench.source = Point{0, 0};
+  bench.tech = ispd09_technology();
+  bench.sinks.push_back(Sink{"s0", Point{500, 500}, 5.0});
+  bench.sinks.push_back(Sink{"s1", Point{900, 100}, 5.0});
+  ClockTree tree;
+  const NodeId root = tree.add_source({0, 0});
+  const NodeId mid = tree.add_child(root, NodeKind::kInternal, {400, 100});
+  const NodeId s0 = tree.add_child(mid, NodeKind::kSink, {500, 500});
+  tree.node(s0).sink_index = 0;
+  const NodeId s1 = tree.add_child(mid, NodeKind::kSink, {900, 100});
+  tree.node(s1).sink_index = 1;
+
+  std::vector<Ps> slack(tree.size(), 0.0);
+  slack[s0] = 0.0;    // critical: red
+  slack[s1] = 100.0;  // relaxed: green
+  const std::string svg = render_svg(bench, tree, slack);
+  EXPECT_NE(svg.find("rgb(220,0,40)"), std::string::npos);   // full red
+  EXPECT_NE(svg.find("rgb(0,180,40)"), std::string::npos);   // full green
+}
+
+TEST(Env, ParsesAndFallsBack) {
+  ::setenv("CONTANGO_TEST_LONG", "42", 1);
+  EXPECT_EQ(env_long("CONTANGO_TEST_LONG", 7), 42);
+  EXPECT_EQ(env_long("CONTANGO_TEST_UNSET_XYZ", 7), 7);
+  ::setenv("CONTANGO_TEST_LONG", "notanumber", 1);
+  EXPECT_EQ(env_long("CONTANGO_TEST_LONG", 7), 7);
+
+  ::setenv("CONTANGO_TEST_DOUBLE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("CONTANGO_TEST_DOUBLE", 1.0), 2.5);
+
+  ::setenv("CONTANGO_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(env_flag("CONTANGO_TEST_FLAG"));
+  ::setenv("CONTANGO_TEST_FLAG", "yes", 1);
+  EXPECT_TRUE(env_flag("CONTANGO_TEST_FLAG"));
+  EXPECT_FALSE(env_flag("CONTANGO_TEST_UNSET_XYZ"));
+
+  EXPECT_EQ(env_string("CONTANGO_TEST_UNSET_XYZ", "dflt"), "dflt");
+  ::unsetenv("CONTANGO_TEST_LONG");
+  ::unsetenv("CONTANGO_TEST_DOUBLE");
+  ::unsetenv("CONTANGO_TEST_FLAG");
+}
+
+TEST(Log, LevelFiltering) {
+  const LogLevel saved = Log::level();
+  Log::set_level(LogLevel::kSilent);
+  Log::error("this must not crash %d", 1);
+  Log::set_level(LogLevel::kDebug);
+  Log::debug("visible %s", "ok");
+  Log::set_level(saved);
+}
+
+}  // namespace
+}  // namespace contango

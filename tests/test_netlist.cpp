@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/generators.h"
+#include "netlist/io.h"
+#include "netlist/library.h"
+
+namespace contango {
+namespace {
+
+TEST(Library, Ispd09TableOneValues) {
+  const Technology tech = ispd09_technology();
+  ASSERT_EQ(tech.inverters.size(), 2u);
+  const InverterType& small = tech.inverters[0];
+  const InverterType& large = tech.inverters[1];
+  EXPECT_DOUBLE_EQ(small.input_cap, 4.2);
+  EXPECT_DOUBLE_EQ(small.output_cap, 6.1);
+  EXPECT_DOUBLE_EQ(small.output_res, ohms(440.0));
+  EXPECT_DOUBLE_EQ(large.input_cap, 35.0);
+  EXPECT_DOUBLE_EQ(large.output_cap, 80.0);
+  EXPECT_DOUBLE_EQ(large.output_res, ohms(61.2));
+}
+
+TEST(Library, CompositeElectricalScaling) {
+  const Technology tech = ispd09_technology();
+  const CompositeElectrical e8 = tech.electrical(CompositeBuffer{0, 8});
+  // Paper Table I row "8X Small": 33.6 fF, 48.8 fF, 55 ohm.
+  EXPECT_DOUBLE_EQ(e8.input_cap, 33.6);
+  EXPECT_DOUBLE_EQ(e8.output_cap, 48.8);
+  EXPECT_DOUBLE_EQ(e8.output_res, ohms(55.0));
+}
+
+TEST(Generators, IspdSuiteShape) {
+  const auto suite = ispd09_suite();
+  ASSERT_EQ(suite.size(), 7u);
+  for (const Benchmark& b : suite) {
+    EXPECT_FALSE(b.sinks.empty());
+    EXPECT_GT(b.tech.cap_limit, 0.0);
+    EXPECT_NO_THROW(validate(b));
+    for (const Sink& s : b.sinks) {
+      EXPECT_FALSE(b.obstacles().blocks_point(s.position))
+          << b.name << " sink " << s.name << " inside an obstacle";
+    }
+  }
+  EXPECT_EQ(suite[0].sinks.size(), 121u);
+  EXPECT_EQ(suite[6].sinks.size(), 330u);
+}
+
+TEST(Generators, Deterministic) {
+  const Benchmark a = generate_ispd_like(ispd09_suite_params(0));
+  const Benchmark b = generate_ispd_like(ispd09_suite_params(0));
+  ASSERT_EQ(a.sinks.size(), b.sinks.size());
+  for (std::size_t i = 0; i < a.sinks.size(); ++i) {
+    EXPECT_EQ(a.sinks[i].position, b.sinks[i].position);
+    EXPECT_DOUBLE_EQ(a.sinks[i].cap, b.sinks[i].cap);
+  }
+  ASSERT_EQ(a.obstacle_rects.size(), b.obstacle_rects.size());
+}
+
+TEST(Generators, TiSamplingIsNested) {
+  // Smaller samples are prefixes of larger ones (same seed, same pool),
+  // matching the paper's protocol of sampling one 135K-sink chip.
+  const Benchmark small = generate_ti_like(100);
+  const Benchmark large = generate_ti_like(400);
+  ASSERT_EQ(small.sinks.size(), 100u);
+  ASSERT_EQ(large.sinks.size(), 400u);
+  for (std::size_t i = 0; i < small.sinks.size(); ++i) {
+    EXPECT_EQ(small.sinks[i].position, large.sinks[i].position);
+  }
+}
+
+TEST(Generators, TiDieMatchesPaper) {
+  const Benchmark b = generate_ti_like(200);
+  EXPECT_DOUBLE_EQ(b.die.width(), 4200.0);
+  EXPECT_DOUBLE_EQ(b.die.height(), 3000.0);
+}
+
+TEST(BenchmarkIo, RoundTrip) {
+  const Benchmark original = generate_ispd_like(ispd09_suite_params(1));
+  std::stringstream buffer;
+  write_benchmark(original, buffer);
+  const Benchmark parsed = read_benchmark(buffer);
+
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.die, original.die);
+  EXPECT_EQ(parsed.source, original.source);
+  ASSERT_EQ(parsed.sinks.size(), original.sinks.size());
+  for (std::size_t i = 0; i < original.sinks.size(); ++i) {
+    EXPECT_EQ(parsed.sinks[i].name, original.sinks[i].name);
+    EXPECT_NEAR(parsed.sinks[i].cap, original.sinks[i].cap, 1e-6);
+  }
+  ASSERT_EQ(parsed.obstacle_rects.size(), original.obstacle_rects.size());
+  ASSERT_EQ(parsed.tech.inverters.size(), original.tech.inverters.size());
+  EXPECT_NEAR(parsed.tech.cap_limit, original.tech.cap_limit, 1e-6);
+  ASSERT_EQ(parsed.tech.corners.size(), original.tech.corners.size());
+}
+
+TEST(BenchmarkIo, RejectsMalformedInput) {
+  std::stringstream bad("name x\nfrobnicate 1 2 3\n");
+  EXPECT_THROW(read_benchmark(bad), std::runtime_error);
+}
+
+TEST(BenchmarkIo, RejectsInvalidBenchmark) {
+  // Sink outside the die.
+  std::stringstream bad(
+      "name x\ndie 0 0 100 100\nsource 50 0\n"
+      "wire w1 0.0001 0.2\ninverter i 4 6 0.4 6\n"
+      "sink s0 500 500 3\ncorners 1.2 1.0\n");
+  EXPECT_THROW(read_benchmark(bad), std::invalid_argument);
+}
+
+TEST(Validate, SourceMustBeInsideDie) {
+  Benchmark b;
+  b.name = "t";
+  b.die = Rect{0, 0, 100, 100};
+  b.source = Point{500, 0};
+  b.tech = ispd09_technology();
+  b.sinks.push_back(Sink{"s0", Point{50, 50}, 5.0});
+  EXPECT_THROW(validate(b), std::invalid_argument);
+  b.source = Point{50, 0};
+  EXPECT_NO_THROW(validate(b));
+}
+
+}  // namespace
+}  // namespace contango

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geom/maze.h"
+#include "geom/obstacles.h"
+#include "util/rng.h"
+
+namespace contango {
+namespace {
+
+TEST(ObstacleSet, GroupsAbuttingRects) {
+  // Two abutting rects form one compound; a distant rect stands alone.
+  ObstacleSet obs({Rect{0, 0, 10, 10}, Rect{10, 0, 20, 10}, Rect{50, 50, 60, 60}});
+  ASSERT_EQ(obs.compounds().size(), 2u);
+  EXPECT_EQ(obs.compound_of(0), obs.compound_of(1));
+  EXPECT_NE(obs.compound_of(0), obs.compound_of(2));
+}
+
+TEST(ObstacleSet, CornerTouchDoesNotGroup) {
+  ObstacleSet obs({Rect{0, 0, 10, 10}, Rect{10, 10, 20, 20}});
+  EXPECT_EQ(obs.compounds().size(), 2u);
+}
+
+TEST(ObstacleSet, OverlappingRectsGroup) {
+  ObstacleSet obs({Rect{0, 0, 10, 10}, Rect{5, 5, 15, 15}});
+  EXPECT_EQ(obs.compounds().size(), 1u);
+}
+
+TEST(ObstacleSet, PointAndSegmentQueries) {
+  ObstacleSet obs({Rect{10, 10, 20, 20}});
+  EXPECT_TRUE(obs.blocks_point(Point{15, 15}));
+  EXPECT_FALSE(obs.blocks_point(Point{10, 15}));  // boundary is legal
+  EXPECT_FALSE(obs.blocks_point(Point{5, 5}));
+  EXPECT_TRUE(obs.blocks_segment(HVSegment{{0, 15}, {30, 15}}));
+  EXPECT_FALSE(obs.blocks_segment(HVSegment{{0, 10}, {30, 10}}));
+  EXPECT_FALSE(obs.blocks_polyline({{0, 0}, {30, 0}, {30, 30}}));
+  EXPECT_TRUE(obs.blocks_polyline({{0, 0}, {15, 0}, {15, 30}}));
+}
+
+TEST(ObstacleSet, CrossedCompounds) {
+  ObstacleSet obs({Rect{10, 10, 20, 20}, Rect{40, 10, 50, 20}});
+  const auto crossed = obs.crossed_compounds(HVSegment{{0, 15}, {60, 15}});
+  EXPECT_EQ(crossed.size(), 2u);
+  const auto one = obs.crossed_compounds(HVSegment{{0, 15}, {30, 15}});
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(UnionContour, SingleRect) {
+  const auto contour = union_contour({Rect{0, 0, 10, 20}});
+  ASSERT_EQ(contour.size(), 4u);
+  EXPECT_DOUBLE_EQ(contour_length(contour), 60.0);
+}
+
+TEST(UnionContour, LShapedUnion) {
+  // Two abutting rects forming an L: contour has 6 vertices.
+  const auto contour = union_contour({Rect{0, 0, 10, 10}, Rect{10, 0, 20, 5}});
+  EXPECT_EQ(contour.size(), 6u);
+  // Perimeter of the L: 20+5+10+5+10+10 = 60.
+  EXPECT_DOUBLE_EQ(contour_length(contour), 60.0);
+}
+
+TEST(UnionContour, PlusShapedUnion) {
+  // A plus sign: vertical bar (2x10) and horizontal bar (10x2) crossing.
+  // Union boundary: each bar's perimeter (24) minus the 4 um of boundary
+  // hidden inside the other bar = 20 + 20 = 40; twelve corners.
+  const auto contour = union_contour({Rect{4, 0, 6, 10}, Rect{0, 4, 10, 6}});
+  EXPECT_EQ(contour.size(), 12u);
+  EXPECT_DOUBLE_EQ(contour_length(contour), 40.0);
+}
+
+TEST(UnionContour, CcwOrientation) {
+  const auto contour = union_contour({Rect{0, 0, 10, 10}});
+  double area2 = 0.0;
+  for (std::size_t i = 0; i < contour.size(); ++i) {
+    const Point& p = contour[i];
+    const Point& q = contour[(i + 1) % contour.size()];
+    area2 += p.x * q.y - q.x * p.y;
+  }
+  EXPECT_GT(area2, 0.0) << "contour must be counter-clockwise";
+}
+
+TEST(ContourOps, ProjectAndWalk) {
+  const std::vector<Point> contour{{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  Point snapped;
+  const Um s = contour_project(contour, Point{5, -3}, &snapped);
+  EXPECT_DOUBLE_EQ(s, 5.0);
+  EXPECT_EQ(snapped, (Point{5, 0}));
+
+  EXPECT_EQ(contour_at(contour, 0.0), (Point{0, 0}));
+  EXPECT_EQ(contour_at(contour, 15.0), (Point{10, 5}));
+  EXPECT_EQ(contour_at(contour, 40.0), (Point{0, 0}));  // wraps
+
+  // Walk from arc 5 (bottom middle) forward to arc 25 (top middle).
+  const auto walk = contour_walk(contour, 5.0, 25.0);
+  ASSERT_GE(walk.size(), 4u);
+  EXPECT_EQ(walk.front(), (Point{5, 0}));
+  EXPECT_EQ(walk.back(), (Point{5, 10}));
+  EXPECT_DOUBLE_EQ(polyline_length(walk), 20.0);
+}
+
+TEST(ContourOps, WalkWrapsAroundOrigin) {
+  const std::vector<Point> contour{{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  // From arc 35 (left side) forward through the origin to arc 5.
+  const auto walk = contour_walk(contour, 35.0, 5.0);
+  EXPECT_EQ(walk.front(), (Point{0, 5}));
+  EXPECT_EQ(walk.back(), (Point{5, 0}));
+  EXPECT_DOUBLE_EQ(polyline_length(walk), 10.0);
+}
+
+TEST(MazeRouter, DirectWhenUnobstructed) {
+  ObstacleSet obs(std::vector<Rect>{});
+  MazeRouter router(obs, Rect{0, 0, 100, 100});
+  const auto path = router.route({10, 10}, {60, 40});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_DOUBLE_EQ(polyline_length(*path), 80.0);
+}
+
+TEST(MazeRouter, RoutesAroundObstacle) {
+  ObstacleSet obs({Rect{20, 0, 30, 90}});  // tall wall with a gap at the top
+  MazeRouter router(obs, Rect{0, 0, 100, 100});
+  const auto path = router.route({10, 10}, {50, 10});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->front(), (Point{10, 10}));
+  EXPECT_EQ(path->back(), (Point{50, 10}));
+  EXPECT_FALSE(obs.blocks_polyline(*path));
+  // Must detour: direct distance is 40, the wall forces going up and over.
+  EXPECT_GT(polyline_length(*path), 40.0);
+}
+
+TEST(MazeRouter, ShortestDetourLength) {
+  // Wall whose bottom edge lies below the routing window, so y=0 passes
+  // through the interior: the route must climb over the top at y=50.
+  ObstacleSet obs({Rect{20, -10, 30, 50}});
+  MazeRouter router(obs, Rect{0, 0, 100, 100});
+  const auto len = router.route_length({10, 0}, {40, 0});
+  ASSERT_TRUE(len.has_value());
+  // 10 right + 50 up + 10 across + 50 down + 10 right = 130.
+  EXPECT_DOUBLE_EQ(*len, 130.0);
+}
+
+TEST(MazeRouter, BoundaryRoutingIsLegal) {
+  // Obstacle bottom edge at y=0: a wire along y=0 touches only the
+  // boundary, which is legal, so the direct route wins.
+  ObstacleSet obs({Rect{20, 0, 30, 50}});
+  MazeRouter router(obs, Rect{0, 0, 100, 100});
+  const auto len = router.route_length({10, 0}, {40, 0});
+  ASSERT_TRUE(len.has_value());
+  EXPECT_DOUBLE_EQ(*len, 30.0);
+}
+
+TEST(MazeRouter, RandomRoutesAreLegalAndNoShorterThanManhattan) {
+  Rng rng(7);
+  std::vector<Rect> rects;
+  for (int i = 0; i < 12; ++i) {
+    const double x = rng.uniform(10, 80);
+    const double y = rng.uniform(10, 80);
+    rects.push_back(Rect{x, y, x + rng.uniform(5, 15), y + rng.uniform(5, 15)});
+  }
+  ObstacleSet obs(rects);
+  MazeRouter router(obs, Rect{0, 0, 100, 100});
+  for (int t = 0; t < 30; ++t) {
+    Point a{rng.uniform(0, 100), rng.uniform(0, 100)};
+    Point b{rng.uniform(0, 100), rng.uniform(0, 100)};
+    if (obs.blocks_point(a) || obs.blocks_point(b)) continue;
+    const auto path = router.route(a, b);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_FALSE(obs.blocks_polyline(*path));
+    EXPECT_GE(polyline_length(*path), manhattan(a, b) - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace contango
