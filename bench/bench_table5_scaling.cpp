@@ -7,47 +7,56 @@
 // simulation runs grows very slowly; the circuit evaluator dominates the
 // runtime.
 //
-// Default sweep: 200 / 500 / 1K / 2K / 5K sinks.  Set CONTANGO_MAX_SINKS
-// (e.g. 20000 or 50000) to extend the sweep toward the paper's full range;
-// runtime grows roughly linearly with sinks.
+// The sweep runs through the parallel suite runner: every sink count is an
+// independent Contango run, fanned out over CONTANGO_THREADS workers
+// (default: hardware concurrency; set 1 for the serial baseline).  Results
+// are input-order-stable and identical to a serial run.
+//
+// Default sweep: 200 / 500 / 1K / 2K / 5K / 10K sinks.  Set
+// CONTANGO_MAX_SINKS (e.g. 20000 or 50000) to extend the sweep toward the
+// paper's full range; runtime grows roughly linearly with sinks.
 
 #include <cstdio>
 #include <vector>
 
-#include "cts/flow.h"
-#include "io/table.h"
+#include "cts/suite.h"
 #include "netlist/generators.h"
 #include "util/env.h"
-#include "util/timer.h"
 
 using namespace contango;
 
 int main() {
   const long max_sinks = env_long("CONTANGO_MAX_SINKS", 10000);
-  std::vector<int> sweep;
+  std::vector<Benchmark> suite;
   for (int n : {200, 500, 1000, 2000, 5000, 10000, 20000, 50000}) {
-    if (n <= max_sinks) sweep.push_back(n);
+    if (n <= max_sinks) suite.push_back(generate_ti_like(n));
   }
 
   std::printf("== Table V: scalability on TI-style benchmarks ==\n");
   std::printf("(die 4.2 x 3.0 mm, sinks sampled from one 135K pool;\n");
   std::printf(" latency = max nominal-corner latency)\n\n");
 
-  TextTable table({"# sinks", "CLR, ps", "Skew, ps", "Latency, ps", "Cap, pF",
-                   "CPU, s (runs)"});
-  for (int n : sweep) {
-    const Benchmark bench = generate_ti_like(n);
-    Timer timer;
-    const FlowResult r = run_contango(bench);
-    table.add_row({std::to_string(n), TextTable::num(r.eval.clr, 2),
-                   TextTable::num(r.eval.nominal_skew, 3),
-                   TextTable::num(r.eval.max_latency, 1),
-                   TextTable::num(r.eval.total_cap / 1000.0, 2),
-                   TextTable::num(timer.seconds(), 1) + " (" +
-                       std::to_string(r.sim_runs) + ")"});
-    std::printf("%s\n", table.to_string().c_str());  // progress after each row
-    std::fflush(stdout);
+  if (suite.empty()) {
+    std::printf("empty sweep: CONTANGO_MAX_SINKS=%ld is below the smallest "
+                "entry (200 sinks)\n", max_sinks);
+    return 0;
   }
+
+  SuiteOptions options;
+  options.threads = static_cast<int>(env_long("CONTANGO_THREADS", 0));
+  options.on_run_done = [](const SuiteRun& run) {  // progress per finished run
+    std::printf("  done %-8s %6.1f s%s\n", run.benchmark.c_str(), run.seconds,
+                run.ok ? "" : " (FAILED)");
+    std::fflush(stdout);
+  };
+  const SuiteReport report = run_suite(suite, options);
+
+  std::printf("\n%s\n", report.table().c_str());
+  std::printf("%d threads: %.1f s wall, %.1f s process CPU "
+              "(%.2fx concurrency), %ld sims total\n",
+              report.threads, report.wall_seconds, report.process_cpu_seconds,
+              report.process_cpu_seconds / report.wall_seconds,
+              report.total_sim_runs());
   std::printf("Set CONTANGO_MAX_SINKS=50000 to run the paper's full sweep.\n");
-  return 0;
+  return report.all_ok() ? 0 : 1;
 }

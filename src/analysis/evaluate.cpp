@@ -64,7 +64,7 @@ Evaluator::Evaluator(const Benchmark& bench, EvalOptions options)
 }
 
 EvalResult Evaluator::evaluate(const ClockTree& tree) {
-  ++sim_runs_;
+  sim_runs_.fetch_add(1, std::memory_order_relaxed);
   const StagedNetlist net = extract_stages(tree, bench_, options_.extract);
   EvalResult result;
   result.total_cap = tree.total_cap(bench_.tech, sink_caps_);

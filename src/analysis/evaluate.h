@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <vector>
 
 #include "analysis/transient.h"
@@ -68,9 +69,11 @@ class Evaluator {
 
   EvalResult evaluate(const ClockTree& tree);
 
-  /// Number of evaluate() calls so far ("SPICE runs").
-  int sim_runs() const { return sim_runs_; }
-  void reset_sim_runs() { sim_runs_ = 0; }
+  /// Number of evaluate() calls so far ("SPICE runs").  Atomic so that
+  /// per-thread evaluator counts can be read and aggregated (e.g. into a
+  /// suite-wide total) while other workers are still evaluating.
+  int sim_runs() const { return sim_runs_.load(std::memory_order_relaxed); }
+  void reset_sim_runs() { sim_runs_.store(0, std::memory_order_relaxed); }
 
   const Benchmark& benchmark() const { return bench_; }
   const EvalOptions& options() const { return options_; }
@@ -80,7 +83,7 @@ class Evaluator {
   EvalOptions options_;
   TransientSimulator sim_;
   std::vector<Ff> sink_caps_;
-  int sim_runs_ = 0;
+  std::atomic<int> sim_runs_{0};
 };
 
 /// Effective driver resistance for a stage driver: applies supply-corner

@@ -1,0 +1,97 @@
+#include "cts/suite.h"
+
+#include <ctime>
+#include <exception>
+#include <mutex>
+
+#include "io/table.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace contango {
+
+long SuiteReport::total_sim_runs() const {
+  long total = 0;
+  for (const SuiteRun& r : runs) total += r.result.sim_runs;
+  return total;
+}
+
+double SuiteReport::cpu_seconds() const {
+  double total = 0.0;
+  for (const SuiteRun& r : runs) total += r.seconds;
+  return total;
+}
+
+bool SuiteReport::all_ok() const {
+  for (const SuiteRun& r : runs) {
+    if (!r.ok) return false;
+  }
+  return true;
+}
+
+std::string SuiteReport::table() const {
+  TextTable table({"Benchmark", "Sinks", "CLR, ps", "Skew, ps", "Latency, ps",
+                   "Cap, pF", "Sims", "CPU, s"});
+  for (const SuiteRun& r : runs) {
+    if (!r.ok) {
+      table.add_row({r.benchmark, std::to_string(r.num_sinks),
+                     "FAILED: " + r.error});
+      continue;
+    }
+    table.add_row({r.benchmark, std::to_string(r.num_sinks),
+                   TextTable::num(r.result.eval.clr, 2),
+                   TextTable::num(r.result.eval.nominal_skew, 3),
+                   TextTable::num(r.result.eval.max_latency, 1),
+                   TextTable::num(r.result.eval.total_cap / 1000.0, 2),
+                   std::to_string(r.result.sim_runs),
+                   TextTable::num(r.seconds, 1)});
+  }
+  return table.to_string();
+}
+
+SuiteReport run_suite(const std::vector<Benchmark>& suite,
+                      const SuiteOptions& options) {
+  SuiteReport report;
+  report.runs.resize(suite.size());
+  report.threads = options.threads <= 0 ? hardware_threads()
+                                        : options.threads;
+
+  // Benchmark::obstacles() builds its cache lazily through mutable members,
+  // so warm it here while the suite is still single-threaded; the workers
+  // then only ever read the benchmarks.
+  for (const Benchmark& bench : suite) bench.obstacles();
+
+  Timer suite_timer;
+  const std::clock_t cpu_start = std::clock();
+  std::mutex done_mutex;
+  ThreadPool pool(report.threads);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    pool.submit([&, i] {
+      const Benchmark& bench = suite[i];
+      SuiteRun& run = report.runs[i];
+      run.benchmark = bench.name;
+      run.num_sinks = static_cast<int>(bench.sinks.size());
+      Timer run_timer;
+      try {
+        run.result = run_contango(bench, options.flow);
+        run.ok = true;
+      } catch (const std::exception& e) {
+        run.error = e.what();
+      } catch (...) {
+        run.error = "unknown exception";
+      }
+      run.seconds = run_timer.seconds();
+      if (options.on_run_done) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        options.on_run_done(run);
+      }
+    });
+  }
+  pool.wait();
+  report.wall_seconds = suite_timer.seconds();
+  report.process_cpu_seconds =
+      static_cast<double>(std::clock() - cpu_start) / CLOCKS_PER_SEC;
+  return report;
+}
+
+}  // namespace contango

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cts/flow.h"
+#include "netlist/benchmark.h"
+
+namespace contango {
+
+struct SuiteRun;
+
+/// Options of a benchmark-suite run.
+struct SuiteOptions {
+  FlowOptions flow;  ///< applied to every benchmark in the suite
+
+  /// Worker threads fanning out `run_contango` calls; 0 picks the hardware
+  /// concurrency, 1 runs the suite serially on the calling thread.
+  int threads = 0;
+
+  /// Progress hook invoked once per finished run (completion order, which
+  /// may differ from input order).  Calls are serialized by the runner, so
+  /// the callback may print without its own locking.  Leave empty for none.
+  std::function<void(const SuiteRun&)> on_run_done;
+};
+
+/// Outcome of one benchmark inside a suite run.
+struct SuiteRun {
+  std::string benchmark;  ///< Benchmark::name
+  int num_sinks = 0;
+  FlowResult result;
+  double seconds = 0.0;  ///< wall time of this run on its worker
+  bool ok = false;       ///< false when the flow threw; see `error`
+  std::string error;
+};
+
+/// Deterministic, input-order-stable report of a whole suite.  `runs[i]`
+/// always corresponds to `suite[i]` no matter which worker finished first,
+/// so serial and parallel executions of the same suite produce identical
+/// reports (modulo wall times).
+struct SuiteReport {
+  std::vector<SuiteRun> runs;
+  int threads = 0;           ///< worker count actually used
+  double wall_seconds = 0.0; ///< whole-suite wall time (not the sum of runs)
+
+  /// Process CPU time consumed by the suite across all workers.  Divide by
+  /// `wall_seconds` for the achieved concurrency — this stays honest under
+  /// oversubscription, where per-run wall times inflate.
+  double process_cpu_seconds = 0.0;
+
+  /// Aggregated evaluation count across all runs ("SPICE runs").
+  long total_sim_runs() const;
+
+  /// Sum of per-run wall times.  Each run's wall time includes time its
+  /// worker spent descheduled, so on an oversubscribed machine this
+  /// overstates the serial-equivalent cost — prefer `process_cpu_seconds`
+  /// for utilization figures.
+  double cpu_seconds() const;
+
+  /// True when every run finished without throwing.
+  bool all_ok() const;
+
+  /// Renders the per-benchmark results (CLR, skew, latency, cap, sims, CPU)
+  /// as a fixed-width text table via io/table.
+  std::string table() const;
+};
+
+/// Runs `run_contango` over every benchmark of the suite on a pool of
+/// `options.threads` workers and collects per-run results plus wall times.
+/// Each worker uses its own Evaluator, so runs are fully independent; a run
+/// that throws is recorded as `ok == false` with the exception message and
+/// does not abort the rest of the suite.  Results are bit-identical to a
+/// serial run of the same suite.
+SuiteReport run_suite(const std::vector<Benchmark>& suite,
+                      const SuiteOptions& options = {});
+
+}  // namespace contango

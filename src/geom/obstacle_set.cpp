@@ -1,4 +1,4 @@
-#include "geom/obstacles.h"
+#include "geom/obstacle_set.h"
 
 #include <algorithm>
 #include <cmath>

@@ -3,7 +3,7 @@
 #include <string>
 #include <vector>
 
-#include "geom/obstacles.h"
+#include "geom/obstacle_set.h"
 #include "geom/point.h"
 #include "geom/rect.h"
 #include "netlist/library.h"

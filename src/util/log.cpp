@@ -1,13 +1,15 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <cstdarg>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 namespace contango {
 namespace {
 
-LogLevel g_level = [] {
+std::atomic<LogLevel> g_level = [] {
   if (const char* env = std::getenv("CONTANGO_LOG")) {
     if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
     if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
@@ -19,16 +21,18 @@ LogLevel g_level = [] {
 }();
 
 void vlog(LogLevel level, const char* tag, const char* fmt, va_list args) {
-  if (level < g_level) return;
-  std::fprintf(stderr, "[%s] ", tag);
-  std::vfprintf(stderr, fmt, args);
-  std::fputc('\n', stderr);
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  // One message, one stdio call: stdio locks per call, so messages from
+  // concurrent suite-runner workers never interleave mid-line.
+  char buffer[1024];
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  std::fprintf(stderr, "[%s] %s\n", tag, buffer);
 }
 
 }  // namespace
 
-LogLevel Log::level() { return g_level; }
-void Log::set_level(LogLevel level) { g_level = level; }
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+void Log::set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 void Log::debug(const char* fmt, ...) {
   va_list args;

@@ -10,7 +10,9 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kSilent = 4 
 
 /// Minimal global logger.  Contango is a library first; all logging goes to
 /// stderr and is filtered by a process-wide level so that benchmark drivers
-/// can silence the flow.  Not thread-safe by design (the flow is sequential).
+/// can silence the flow.  Thread-safe: the level is atomic and each message
+/// is emitted with a single stdio call, so lines from concurrent
+/// suite-runner workers never interleave mid-line.
 class Log {
  public:
   static LogLevel level();

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "geom/maze.h"
-#include "geom/obstacles.h"
+#include "geom/obstacle_set.h"
 #include "util/rng.h"
 
 namespace contango {

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "cts/suite.h"
+#include "netlist/generators.h"
+#include "util/parallel.h"
+
+namespace contango {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+
+  // The pool stays usable after wait().
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 101);
+}
+
+TEST(ThreadPool, InlineModeRunsOnCallerThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  int count = 0;  // no atomic needed: inline mode never spawns workers
+  pool.submit([&count] { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ParallelFor, CoversEachIndexExactlyOnce) {
+  for (int threads : {1, 3, 8}) {
+    std::vector<std::atomic<int>> hits(57);
+    parallel_for(57, threads, [&hits](int i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << threads << " threads";
+  }
+  parallel_for(0, 4, [](int) { FAIL() << "no iterations expected"; });
+}
+
+TEST(Suite, EmptySuite) {
+  const SuiteReport report = run_suite({});
+  EXPECT_TRUE(report.runs.empty());
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(report.total_sim_runs(), 0);
+}
+
+/// The acceptance test of the runner: a 4-thread run must be bit-identical
+/// to a 1-thread run of the same benchmark list — same stage snapshots,
+/// same sink latencies and slews at every corner, same simulation counts.
+TEST(Suite, FourThreadsMatchSerialBitForBit) {
+  std::vector<Benchmark> suite;
+  for (int n : {80, 120, 160, 200}) suite.push_back(generate_ti_like(n));
+
+  SuiteOptions options;
+  options.threads = 1;
+  const SuiteReport serial = run_suite(suite, options);
+  options.threads = 4;
+  const SuiteReport parallel = run_suite(suite, options);
+
+  EXPECT_EQ(serial.threads, 1);
+  EXPECT_EQ(parallel.threads, 4);
+  ASSERT_EQ(serial.runs.size(), suite.size());
+  ASSERT_EQ(parallel.runs.size(), suite.size());
+
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const SuiteRun& s = serial.runs[i];
+    const SuiteRun& p = parallel.runs[i];
+    SCOPED_TRACE(s.benchmark);
+
+    // Input-order stability: slot i holds benchmark i for both runs.
+    EXPECT_EQ(s.benchmark, suite[i].name);
+    EXPECT_EQ(p.benchmark, suite[i].name);
+    ASSERT_TRUE(s.ok) << s.error;
+    ASSERT_TRUE(p.ok) << p.error;
+
+    // Stage snapshots: identical metrics (wall times excluded).
+    ASSERT_EQ(s.result.stages.size(), p.result.stages.size());
+    for (std::size_t k = 0; k < s.result.stages.size(); ++k) {
+      const StageSnapshot& ss = s.result.stages[k];
+      const StageSnapshot& ps = p.result.stages[k];
+      EXPECT_EQ(ss.name, ps.name);
+      EXPECT_EQ(ss.skew, ps.skew);
+      EXPECT_EQ(ss.clr, ps.clr);
+      EXPECT_EQ(ss.max_latency, ps.max_latency);
+      EXPECT_EQ(ss.cap, ps.cap);
+      EXPECT_EQ(ss.sim_runs, ps.sim_runs);
+    }
+    EXPECT_EQ(s.result.sim_runs, p.result.sim_runs);
+
+    // Sink timings: identical latency and slew for every sink at every
+    // (corner, transition) pair.
+    ASSERT_EQ(s.result.eval.corners.size(), p.result.eval.corners.size());
+    for (std::size_t c = 0; c < s.result.eval.corners.size(); ++c) {
+      for (int t = 0; t < kNumTransitions; ++t) {
+        const auto& ssinks = s.result.eval.corners[c].sinks[static_cast<std::size_t>(t)];
+        const auto& psinks = p.result.eval.corners[c].sinks[static_cast<std::size_t>(t)];
+        ASSERT_EQ(ssinks.size(), psinks.size());
+        for (std::size_t j = 0; j < ssinks.size(); ++j) {
+          EXPECT_EQ(ssinks[j].latency, psinks[j].latency);
+          EXPECT_EQ(ssinks[j].slew, psinks[j].slew);
+          EXPECT_EQ(ssinks[j].reached, psinks[j].reached);
+        }
+      }
+    }
+  }
+
+  // The report renders through io/table and carries the aggregate counters.
+  EXPECT_EQ(serial.total_sim_runs(), parallel.total_sim_runs());
+  EXPECT_FALSE(parallel.table().empty());
+  EXPECT_GT(parallel.cpu_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace contango
