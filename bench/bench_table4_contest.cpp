@@ -13,11 +13,22 @@
 // suite-runner pass over the benchmarks, and the three baseline columns fan
 // out per benchmark on the same worker count (CONTANGO_THREADS, default:
 // hardware concurrency).  Row order matches the serial version exactly.
+//
+// The workload defaults to the seven generated cns01..cns07 entries
+// (CONTANGO_TABLE4_BENCHMARKS caps how many).  Set CONTANGO_WORKLOADS to a
+// collect_workloads() spec — registered scenario families, .bench files,
+// or directories of them — to run the same four-flow comparison on any
+// workload, e.g.:
+//
+//   CONTANGO_WORKLOADS=benchmarks ./bench_table4_contest
+//   CONTANGO_WORKLOADS=ring,obstacle_dense:200 CONTANGO_SEED=7 ./bench_table4_contest
 
 #include <cstdio>
+#include <exception>
 #include <vector>
 
 #include "cts/baseline.h"
+#include "cts/scenario.h"
 #include "cts/suite.h"
 #include "io/table.h"
 #include "netlist/generators.h"
@@ -46,8 +57,19 @@ int main() {
   const int threads = static_cast<int>(env_long("CONTANGO_THREADS", 0));
 
   std::vector<Benchmark> suite;
-  for (int i = 0; i < static_cast<int>(limit) && i < 7; ++i) {
-    suite.push_back(generate_ispd_like(ispd09_suite_params(i)));
+  const std::string workloads = env_string("CONTANGO_WORKLOADS", "");
+  if (!workloads.empty()) {
+    const auto seed = static_cast<std::uint64_t>(env_long("CONTANGO_SEED", 1));
+    try {
+      suite = collect_workloads(workloads, seed);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "CONTANGO_WORKLOADS: %s\n", e.what());
+      return 1;
+    }
+  } else {
+    for (int i = 0; i < static_cast<int>(limit) && i < 7; ++i) {
+      suite.push_back(generate_ispd_like(ispd09_suite_params(i)));
+    }
   }
   const int rows = static_cast<int>(suite.size());
 

@@ -15,10 +15,17 @@
 // Default sweep: 200 / 500 / 1K / 2K / 5K / 10K sinks.  Set
 // CONTANGO_MAX_SINKS (e.g. 20000 or 50000) to extend the sweep toward the
 // paper's full range; runtime grows roughly linearly with sinks.
+//
+// Set CONTANGO_SCENARIO to a registered scenario-family name (see
+// cts/scenario.h: uniform, clustered, ring, obstacle_dense, high_fanout,
+// mixed_cap) to run the same scaling sweep over that family instead of the
+// TI-style chip; CONTANGO_SEED picks the instance.
 
 #include <cstdio>
+#include <exception>
 #include <vector>
 
+#include "cts/scenario.h"
 #include "cts/suite.h"
 #include "netlist/generators.h"
 #include "util/env.h"
@@ -27,14 +34,33 @@ using namespace contango;
 
 int main() {
   const long max_sinks = env_long("CONTANGO_MAX_SINKS", 10000);
+  const std::string scenario = env_string("CONTANGO_SCENARIO", "");
+  const auto seed = static_cast<std::uint64_t>(env_long("CONTANGO_SEED", 1));
   std::vector<Benchmark> suite;
   for (int n : {200, 500, 1000, 2000, 5000, 10000, 20000, 50000}) {
-    if (n <= max_sinks) suite.push_back(generate_ti_like(n));
+    if (n > max_sinks) continue;
+    if (scenario.empty()) {
+      suite.push_back(generate_ti_like(n));
+    } else {
+      try {
+        suite.push_back(make_scenario(scenario, seed, n));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "CONTANGO_SCENARIO: %s\n", e.what());
+        return 1;
+      }
+    }
   }
 
-  std::printf("== Table V: scalability on TI-style benchmarks ==\n");
-  std::printf("(die 4.2 x 3.0 mm, sinks sampled from one 135K pool;\n");
-  std::printf(" latency = max nominal-corner latency)\n\n");
+  if (scenario.empty()) {
+    std::printf("== Table V: scalability on TI-style benchmarks ==\n");
+    std::printf("(die 4.2 x 3.0 mm, sinks sampled from one 135K pool;\n");
+    std::printf(" latency = max nominal-corner latency)\n\n");
+  } else {
+    std::printf("== Table V variant: scaling the '%s' scenario family ==\n",
+                scenario.c_str());
+    std::printf("(seed %llu; latency = max nominal-corner latency)\n\n",
+                static_cast<unsigned long long>(seed));
+  }
 
   if (suite.empty()) {
     std::printf("empty sweep: CONTANGO_MAX_SINKS=%ld is below the smallest "

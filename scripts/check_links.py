@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Fails when a Markdown file contains a broken relative link.
+
+Scans the files given on the command line (or README.md + docs/*.md when
+called with no arguments) for inline links/images `[text](target)` and
+reference definitions `[label]: target`, and checks that every relative
+target exists on disk. External schemes (http/https/mailto) and pure
+in-page anchors (#...) are skipped; `path#anchor` checks only the path.
+
+Usage: scripts/check_links.py [file.md ...]
+"""
+import glob
+import os
+import re
+import sys
+
+# Inline [text](target) — target up to the first unescaped ')'; tolerates
+# an optional "title" suffix. Reference defs are matched separately.
+INLINE = re.compile(r"\[[^\]]*\]\(\s*([^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s*(\S+)", re.MULTILINE)
+SKIP = ("http://", "https://", "mailto:", "ftp://")
+
+
+def strip_code(markdown: str) -> str:
+    """Drops fenced code blocks and inline code spans — links inside code
+    are examples, not navigation."""
+    markdown = re.sub(r"^```.*?^```", "", markdown, flags=re.DOTALL | re.MULTILINE)
+    return re.sub(r"`[^`\n]*`", "", markdown)
+
+
+def check(path: str) -> list:
+    with open(path, encoding="utf-8") as fh:
+        text = strip_code(fh.read())
+    base = os.path.dirname(path)
+    targets = [m.group(1) for m in INLINE.finditer(text)] + REFDEF.findall(text)
+    broken = []
+    for target in targets:
+        if target.startswith(SKIP) or target.startswith("#"):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        if not os.path.exists(os.path.join(base, rel)):
+            broken.append((path, target))
+    return broken
+
+
+def main(argv: list) -> int:
+    files = argv or sorted({"README.md", *glob.glob("docs/*.md")})
+    broken = []
+    for path in files:
+        broken.extend(check(path))
+    for path, target in broken:
+        print(f"BROKEN LINK in {path}: {target}")
+    print(f"checked {len(files)} files, {len(broken)} broken links")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

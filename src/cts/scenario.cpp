@@ -1,0 +1,245 @@
+#include "cts/scenario.h"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "netlist/generators.h"
+#include "netlist/io.h"
+
+namespace contango {
+namespace {
+
+/// Common knobs of the ispd-like families, varied per family below.
+IspdGenParams ispd_base(std::uint64_t seed, int num_sinks) {
+  IspdGenParams p;
+  p.die_w = 12000.0;
+  p.die_h = 12000.0;
+  p.num_sinks = num_sinks;
+  p.seed = seed;
+  return p;
+}
+
+/// "uniform, clustered, ring, ..." for error messages.
+std::string join_names(const ScenarioRegistry& registry) {
+  std::string joined;
+  for (const ScenarioRegistry::Family& f : registry.families()) {
+    if (!joined.empty()) joined += ", ";
+    joined += f.name;
+  }
+  return joined;
+}
+
+/// Parses a whole string as a non-negative int; returns -1 when any
+/// character is left over ("1e3", "64k") so typos never silently pass as a
+/// sink count.
+int parse_exact_int(const std::string& text) {
+  try {
+    std::size_t consumed = 0;
+    const int value = std::stoi(text, &consumed);
+    if (consumed != text.size() || value < 0) return -1;
+    return value;
+  } catch (const std::exception&) {
+    return -1;
+  }
+}
+
+ScenarioRegistry build_builtin() {
+  ScenarioRegistry registry;
+
+  registry.add({"uniform",
+                "pure uniform sink scatter, moderate obstacles",
+                120,
+                [](std::uint64_t seed, int n) {
+                  IspdGenParams p = ispd_base(seed, n);
+                  p.num_clusters = 0;
+                  p.cluster_fraction = 0.0;
+                  p.num_obstacles = 18;
+                  return generate_ispd_like(p);
+                }});
+
+  registry.add({"clustered",
+                "90% of sinks in tight clusters, like register banks",
+                140,
+                [](std::uint64_t seed, int n) {
+                  IspdGenParams p = ispd_base(seed, n);
+                  p.num_clusters = 6;
+                  p.cluster_fraction = 0.9;
+                  p.num_obstacles = 22;
+                  return generate_ispd_like(p);
+                }});
+
+  registry.add({"ring",
+                "sinks on concentric rings around a central macro",
+                96,
+                [](std::uint64_t seed, int n) {
+                  RingGenParams p;
+                  p.num_sinks = n;
+                  p.seed = seed;
+                  return generate_ring(p);
+                }});
+
+  registry.add({"obstacle_dense",
+                "macro-heavy floorplan: many abutting blockages",
+                110,
+                [](std::uint64_t seed, int n) {
+                  IspdGenParams p = ispd_base(seed, n);
+                  p.num_clusters = 3;
+                  p.cluster_fraction = 0.4;
+                  p.num_obstacles = 48;
+                  p.abut_fraction = 0.4;
+                  p.obstacle_min = 400.0;
+                  p.obstacle_max = 2200.0;
+                  return generate_ispd_like(p);
+                }});
+
+  registry.add({"high_fanout",
+                "dense sink population on a small die",
+                420,
+                [](std::uint64_t seed, int n) {
+                  IspdGenParams p = ispd_base(seed, n);
+                  p.die_w = 9000.0;
+                  p.die_h = 9000.0;
+                  p.num_clusters = 3;
+                  p.cluster_fraction = 0.5;
+                  p.num_obstacles = 14;
+                  p.obstacle_max = 1600.0;
+                  return generate_ispd_like(p);
+                }});
+
+  registry.add({"mixed_cap",
+                "sink pin caps spanning 1-90 fF (mixed cell drive classes)",
+                120,
+                [](std::uint64_t seed, int n) {
+                  IspdGenParams p = ispd_base(seed, n);
+                  p.sink_cap_min = 1.0;
+                  p.sink_cap_max = 90.0;
+                  return generate_ispd_like(p);
+                }});
+
+  return registry;
+}
+
+}  // namespace
+
+void ScenarioRegistry::add(Family family) {
+  if (family.name.empty()) {
+    throw std::invalid_argument("ScenarioRegistry::add: empty family name");
+  }
+  if (!family.factory) {
+    throw std::invalid_argument("ScenarioRegistry::add: family '" + family.name +
+                                "' has no factory");
+  }
+  if (contains(family.name)) {
+    throw std::invalid_argument("ScenarioRegistry::add: duplicate family '" +
+                                family.name + "'");
+  }
+  families_.push_back(std::move(family));
+}
+
+bool ScenarioRegistry::contains(const std::string& name) const {
+  for (const Family& f : families_) {
+    if (f.name == name) return true;
+  }
+  return false;
+}
+
+const ScenarioRegistry::Family& ScenarioRegistry::family(const std::string& name) const {
+  for (const Family& f : families_) {
+    if (f.name == name) return f;
+  }
+  throw std::out_of_range("unknown scenario family '" + name + "' (registered: " +
+                          join_names(*this) + ")");
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(families_.size());
+  for (const Family& f : families_) out.push_back(f.name);
+  return out;
+}
+
+Benchmark ScenarioRegistry::make(const std::string& name, std::uint64_t seed,
+                                 int num_sinks) const {
+  const Family& f = family(name);
+  if (num_sinks < 0) {
+    throw std::invalid_argument("ScenarioRegistry::make: negative num_sinks");
+  }
+  const int sinks = num_sinks == 0 ? f.default_sinks : num_sinks;
+  Benchmark bench = f.factory(seed, sinks);
+  bench.name = f.name + "_s" + std::to_string(seed);
+  if (num_sinks != 0) bench.name += "_n" + std::to_string(num_sinks);
+  return bench;
+}
+
+std::vector<Benchmark> ScenarioRegistry::make_all(std::uint64_t seed) const {
+  std::vector<Benchmark> suite;
+  suite.reserve(families_.size());
+  for (const Family& f : families_) suite.push_back(make(f.name, seed));
+  return suite;
+}
+
+const ScenarioRegistry& ScenarioRegistry::builtin() {
+  static const ScenarioRegistry registry = build_builtin();
+  return registry;
+}
+
+Benchmark make_scenario(const std::string& name, std::uint64_t seed, int num_sinks) {
+  return ScenarioRegistry::builtin().make(name, seed, num_sinks);
+}
+
+std::vector<Benchmark> collect_workloads(const std::string& spec, std::uint64_t seed) {
+  const ScenarioRegistry& registry = ScenarioRegistry::builtin();
+  std::vector<Benchmark> suite;
+
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    std::string element = spec.substr(begin, end - begin);
+    begin = end + 1;
+
+    // Trim surrounding whitespace.
+    const std::size_t first = element.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    const std::size_t last = element.find_last_not_of(" \t");
+    element = element.substr(first, last - first + 1);
+
+    // 1. Registered family, optionally "family:num_sinks".  The suffix must
+    // be a complete non-negative integer — "ring:1e3" is an error, not a
+    // 1-sink run.
+    std::string family = element;
+    int num_sinks = 0;
+    const std::size_t colon = element.rfind(':');
+    if (colon != std::string::npos) {
+      const int parsed = parse_exact_int(element.substr(colon + 1));
+      if (parsed >= 0) {
+        num_sinks = parsed;
+        family = element.substr(0, colon);
+      }
+    }
+    if (registry.contains(family)) {
+      suite.push_back(registry.make(family, seed, num_sinks));
+      continue;
+    }
+
+    // 2./3. A .bench file or a directory of them.
+    std::error_code ec;
+    if (std::filesystem::is_directory(element, ec)) {
+      std::vector<Benchmark> dir = read_benchmark_dir(element);
+      for (Benchmark& b : dir) suite.push_back(std::move(b));
+      continue;
+    }
+    if (std::filesystem::is_regular_file(element, ec)) {
+      suite.push_back(read_benchmark_file(element));
+      continue;
+    }
+
+    throw std::invalid_argument(
+        "workload element '" + element +
+        "' is neither a registered scenario family nor an existing "
+        ".bench file/directory (families: " + join_names(registry) + ")");
+  }
+  return suite;
+}
+
+}  // namespace contango

@@ -4,6 +4,7 @@
 #include <exception>
 #include <mutex>
 
+#include "cts/scenario.h"
 #include "io/table.h"
 #include "util/parallel.h"
 #include "util/timer.h"
@@ -92,6 +93,11 @@ SuiteReport run_suite(const std::vector<Benchmark>& suite,
   report.process_cpu_seconds =
       static_cast<double>(std::clock() - cpu_start) / CLOCKS_PER_SEC;
   return report;
+}
+
+SuiteReport run_suite_spec(const std::string& spec, std::uint64_t seed,
+                           const SuiteOptions& options) {
+  return run_suite(collect_workloads(spec, seed), options);
 }
 
 }  // namespace contango

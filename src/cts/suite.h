@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -9,6 +10,17 @@
 
 namespace contango {
 
+/// \file suite.h
+/// \brief Parallel benchmark-suite runner: fans the full Contango flow out
+/// over a workload list and renders an input-order-stable report.
+///
+/// Workloads come from three interchangeable sources — the synthetic
+/// generators (netlist/generators.h), the scenario registry
+/// (cts/scenario.h) and `.bench` files on disk (netlist/io.h) — and all of
+/// them funnel into run_suite() as plain Benchmark vectors.
+/// run_suite_spec() is the one-call form that resolves a textual workload
+/// spec first.
+
 struct SuiteRun;
 
 /// Options of a benchmark-suite run.
@@ -17,6 +29,7 @@ struct SuiteOptions {
 
   /// Worker threads fanning out `run_contango` calls; 0 picks the hardware
   /// concurrency, 1 runs the suite serially on the calling thread.
+  /// Benchmark drivers bind this to the CONTANGO_THREADS env knob.
   int threads = 0;
 
   /// Progress hook invoked once per finished run (completion order, which
@@ -66,13 +79,29 @@ struct SuiteReport {
   std::string table() const;
 };
 
-/// Runs `run_contango` over every benchmark of the suite on a pool of
-/// `options.threads` workers and collects per-run results plus wall times.
+/// \brief Runs `run_contango` over every benchmark of the suite on a pool
+/// of `options.threads` workers and collects per-run results plus wall
+/// times.
+///
 /// Each worker uses its own Evaluator, so runs are fully independent; a run
 /// that throws is recorded as `ok == false` with the exception message and
 /// does not abort the rest of the suite.  Results are bit-identical to a
 /// serial run of the same suite.
+/// \param suite the workloads; runs[i] of the report corresponds to suite[i]
+/// \param options worker count, flow options and progress hook
 SuiteReport run_suite(const std::vector<Benchmark>& suite,
                       const SuiteOptions& options = {});
+
+/// \brief Resolves a workload spec and runs it through run_suite().
+///
+/// `spec` is the comma-separated syntax of collect_workloads()
+/// (cts/scenario.h): registered scenario-family names with optional
+/// `:<num_sinks>` overrides, `.bench` file paths, and directories of
+/// `.bench` files, in any mix — e.g. `"ring,high_fanout:1000,benchmarks"`.
+/// \param spec workload spec; resolution errors propagate before any run starts
+/// \param seed seed for every scenario instantiated from the registry
+/// \param options forwarded to run_suite()
+SuiteReport run_suite_spec(const std::string& spec, std::uint64_t seed,
+                           const SuiteOptions& options = {});
 
 }  // namespace contango

@@ -170,6 +170,71 @@ std::vector<Benchmark> ispd09_suite() {
   return suite;
 }
 
+Benchmark generate_ring(const RingGenParams& params) {
+  if (params.num_sinks < 1) throw std::invalid_argument("generate_ring: num_sinks");
+  if (params.num_rings < 1) throw std::invalid_argument("generate_ring: num_rings");
+
+  Rng rng(params.seed);
+  Benchmark bench;
+  bench.name = params.name;
+  bench.die = Rect{0.0, 0.0, params.die_w, params.die_h};
+  bench.source = Point{params.die_w / 2.0, 0.0};
+  bench.tech = ispd09_technology();
+
+  // Central macro the rings wrap around.
+  const double min_dim = std::min(params.die_w, params.die_h);
+  const Point center{params.die_w / 2.0, params.die_h / 2.0};
+  const double core_half = params.core_fraction * min_dim / 2.0;
+  bench.obstacle_rects.push_back(Rect{center.x - core_half, center.y - core_half,
+                                      center.x + core_half, center.y + core_half});
+
+  // Ring radii span the annulus between the core and the die margin.
+  const double r_inner = core_half * 1.3;
+  const double r_outer = 0.45 * min_dim;
+  const double spacing = params.num_rings > 1
+                             ? (r_outer - r_inner) / (params.num_rings - 1)
+                             : 0.0;
+
+  // A "ring" is the perimeter of a square of half-extent `radius` around
+  // the core — registers wrap rectangular macros along rectangular
+  // contours, and the perimeter walk needs no trig (bit-portable, see
+  // util/rng.h).
+  auto perimeter_point = [](const Point& c, double radius, double t) {
+    const double perimeter = 8.0 * radius;
+    double d = (t - std::floor(t)) * perimeter;
+    if (d < 2.0 * radius) return Point{c.x - radius + d, c.y - radius};
+    d -= 2.0 * radius;
+    if (d < 2.0 * radius) return Point{c.x + radius, c.y - radius + d};
+    d -= 2.0 * radius;
+    if (d < 2.0 * radius) return Point{c.x + radius - d, c.y + radius};
+    d -= 2.0 * radius;
+    return Point{c.x - radius, c.y + radius - d};
+  };
+
+  const ObstacleSet legalizer(bench.obstacle_rects);
+  for (int i = 0; i < params.num_sinks; ++i) {
+    // Round-robin across rings, evenly spaced along each ring's perimeter.
+    const int ring = i % params.num_rings;
+    const int on_ring = (params.num_sinks + params.num_rings - 1 - ring) / params.num_rings;
+    const int slot = i / params.num_rings;
+    const double t = (slot + params.jitter * rng.uniform(-0.5, 0.5)) /
+                     std::max(1, on_ring);
+    const double radius =
+        r_inner + ring * spacing + params.jitter * spacing * rng.uniform(-0.5, 0.5);
+    Point p = perimeter_point(center, radius, t);
+    p = push_out_of_obstacles(p, legalizer, bench.die);
+    Sink s;
+    s.name = "s" + std::to_string(i);
+    s.position = p;
+    s.cap = rng.uniform(params.sink_cap_min, params.sink_cap_max);
+    bench.sinks.push_back(s);
+  }
+
+  bench.tech.cap_limit = capacitance_budget(bench);
+  validate(bench);
+  return bench;
+}
+
 Benchmark generate_ti_like(int num_sinks, std::uint64_t seed) {
   if (num_sinks < 1) throw std::invalid_argument("generate_ti_like: num_sinks");
   constexpr int kPoolSize = 135000;  // paper: 135K sink locations identified

@@ -45,4 +45,25 @@ IspdGenParams ispd09_suite_params(int index);
 /// mirrors the paper's protocol.
 Benchmark generate_ti_like(int num_sinks, std::uint64_t seed = 77);
 
+/// Parameters of the ring-placement generator: sinks arranged on concentric
+/// rectangular rings around a central macro blockage, the way registers
+/// encircle a hard IP block or memory in a placed SoC.  Stresses the DME
+/// merging order and obstacle repair differently from scatter/cluster
+/// placements: every merge near the top must route around the core.
+struct RingGenParams {
+  std::string name = "ring";
+  Um die_w = 10000.0;
+  Um die_h = 10000.0;
+  int num_sinks = 96;
+  int num_rings = 4;
+  double core_fraction = 0.22;  ///< central macro edge as fraction of min(die w, h)
+  double jitter = 0.25;         ///< radial/angular jitter as fraction of ring spacing
+  Ff sink_cap_min = 3.0;
+  Ff sink_cap_max = 35.0;
+  std::uint64_t seed = 1;
+};
+
+/// Generates one ring benchmark.  Deterministic in the seed.
+Benchmark generate_ring(const RingGenParams& params);
+
 }  // namespace contango

@@ -1,16 +1,34 @@
 #include "netlist/io.h"
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 
 namespace contango {
+namespace {
 
-Benchmark read_benchmark(std::istream& in) {
+/// Canonical unit system of the format; any other `units` line is rejected
+/// so files authored in different units fail loudly instead of misscaling.
+constexpr const char* kUnits[4] = {"um", "ps", "fF", "kohm"};
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+Benchmark read_benchmark(std::istream& in, const std::string& context) {
   Benchmark bench;
   bench.tech.wires.clear();
   bench.tech.inverters.clear();
   bench.tech.corners.clear();
+
+  // -1 means "not declared"; when declared, checked against the actual list
+  // lengths at EOF so truncated files are detected.
+  long declared_sinks = -1;
+  long declared_obstacles = -1;
 
   std::string line;
   std::size_t line_no = 0;
@@ -23,51 +41,105 @@ Benchmark read_benchmark(std::istream& in) {
     if (!(ss >> keyword)) continue;
 
     auto fail = [&](const std::string& what) {
-      throw std::runtime_error("benchmark parse error at line " +
-                               std::to_string(line_no) + ": " + what);
+      throw BenchmarkParseError(context, line_no, what);
     };
 
-    if (keyword == "name") {
-      if (!(ss >> bench.name)) fail("name");
+    if (keyword == "units") {
+      std::string u[4];
+      if (!(ss >> u[0] >> u[1] >> u[2] >> u[3])) {
+        fail("units needs four tokens: um ps fF kohm");
+      }
+      for (int i = 0; i < 4; ++i) {
+        if (u[i] != kUnits[i]) {
+          fail("unsupported units '" + u[0] + " " + u[1] + " " + u[2] + " " +
+               u[3] + "' (this parser only reads um ps fF kohm)");
+        }
+      }
+    } else if (keyword == "name") {
+      if (!(ss >> bench.name)) fail("name needs one token");
     } else if (keyword == "die") {
-      if (!(ss >> bench.die.xlo >> bench.die.ylo >> bench.die.xhi >> bench.die.yhi)) fail("die");
+      if (!(ss >> bench.die.xlo >> bench.die.ylo >> bench.die.xhi >> bench.die.yhi)) {
+        fail("die needs four coordinates: xlo ylo xhi yhi");
+      }
     } else if (keyword == "source") {
-      if (!(ss >> bench.source.x >> bench.source.y)) fail("source");
+      if (!(ss >> bench.source.x >> bench.source.y)) {
+        fail("source needs two coordinates: x y");
+      }
     } else if (keyword == "source_res") {
-      if (!(ss >> bench.source_res)) fail("source_res");
+      if (!(ss >> bench.source_res)) fail("source_res needs one number");
     } else if (keyword == "slew_limit") {
-      if (!(ss >> bench.tech.slew_limit)) fail("slew_limit");
+      if (!(ss >> bench.tech.slew_limit)) fail("slew_limit needs one number");
     } else if (keyword == "cap_limit") {
-      if (!(ss >> bench.tech.cap_limit)) fail("cap_limit");
+      if (!(ss >> bench.tech.cap_limit)) fail("cap_limit needs one number");
     } else if (keyword == "supply_alpha") {
-      if (!(ss >> bench.tech.supply_alpha)) fail("supply_alpha");
+      if (!(ss >> bench.tech.supply_alpha)) fail("supply_alpha needs one number");
     } else if (keyword == "rise_fall_ratio") {
-      if (!(ss >> bench.tech.rise_fall_ratio)) fail("rise_fall_ratio");
+      if (!(ss >> bench.tech.rise_fall_ratio)) fail("rise_fall_ratio needs one number");
     } else if (keyword == "corners") {
       double v;
       while (ss >> v) bench.tech.corners.push_back(v);
-      if (bench.tech.corners.empty()) fail("corners");
+      if (bench.tech.corners.empty()) fail("corners needs at least one voltage");
       bench.tech.vdd_nom = bench.tech.corners.front();
     } else if (keyword == "wire") {
       WireType w;
-      if (!(ss >> w.name >> w.r_per_um >> w.c_per_um)) fail("wire");
+      if (!(ss >> w.name >> w.r_per_um >> w.c_per_um)) {
+        fail("wire needs: name kohm_per_um ff_per_um");
+      }
       bench.tech.wires.push_back(w);
     } else if (keyword == "inverter") {
       InverterType inv;
-      if (!(ss >> inv.name >> inv.input_cap >> inv.output_cap >> inv.output_res >> inv.intrinsic_delay)) fail("inverter");
+      if (!(ss >> inv.name >> inv.input_cap >> inv.output_cap >> inv.output_res >>
+            inv.intrinsic_delay)) {
+        fail("inverter needs: name cin_ff cout_ff rout_kohm intrinsic_ps");
+      }
       bench.tech.inverters.push_back(inv);
+    } else if (keyword == "sinks") {
+      if (!(ss >> declared_sinks) || declared_sinks < 0) {
+        fail("sinks needs a non-negative count");
+      }
     } else if (keyword == "sink") {
       Sink s;
-      if (!(ss >> s.name >> s.position.x >> s.position.y >> s.cap)) fail("sink");
+      if (!(ss >> s.name >> s.position.x >> s.position.y >> s.cap)) {
+        fail("sink needs: name x y cap_ff");
+      }
       bench.sinks.push_back(s);
+    } else if (keyword == "obstacles") {
+      if (!(ss >> declared_obstacles) || declared_obstacles < 0) {
+        fail("obstacles needs a non-negative count");
+      }
     } else if (keyword == "obstacle") {
       Rect r;
-      if (!(ss >> r.xlo >> r.ylo >> r.xhi >> r.yhi)) fail("obstacle");
+      if (!(ss >> r.xlo >> r.ylo >> r.xhi >> r.yhi)) {
+        fail("obstacle needs four coordinates: xlo ylo xhi yhi");
+      }
+      if (r.xhi <= r.xlo || r.yhi <= r.ylo) {
+        fail("malformed obstacle: xhi/yhi must exceed xlo/ylo (got " + line + ")");
+      }
       bench.obstacle_rects.push_back(r);
     } else {
       fail("unknown keyword '" + keyword + "'");
     }
+
+    // Reject trailing fields on every directive ("die 0 0 1 1 9" is a typo,
+    // not a comment).  corners/units may have left the stream in a fail
+    // state after their last legal extraction; clear it first.
+    ss.clear();
+    std::string extra;
+    if (ss >> extra) fail("unexpected trailing token '" + extra + "'");
   }
+
+  auto check_count = [&](long declared, std::size_t found, const char* what) {
+    if (declared < 0 || declared == static_cast<long>(found)) return;
+    const std::string direction =
+        declared > static_cast<long>(found) ? " list truncated" : " count mismatch";
+    throw BenchmarkParseError(context, line_no,
+                              std::string(what) + direction + ": declared " +
+                                  std::to_string(declared) + ", found " +
+                                  std::to_string(found));
+  };
+  check_count(declared_sinks, bench.sinks.size(), "sink");
+  check_count(declared_obstacles, bench.obstacle_rects.size(), "obstacle");
+
   if (bench.tech.corners.empty()) bench.tech.corners = {1.2, 1.0};
   validate(bench);
   return bench;
@@ -76,12 +148,56 @@ Benchmark read_benchmark(std::istream& in) {
 Benchmark read_benchmark_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open benchmark file: " + path);
-  return read_benchmark(in);
+  return read_benchmark(in, path);
+}
+
+std::vector<std::string> list_benchmark_files(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    throw std::runtime_error("cannot read benchmark directory '" + dir +
+                             "': " + ec.message());
+  }
+  std::vector<std::string> paths;
+  for (const fs::directory_entry& entry : it) {
+    if (entry.is_regular_file() && ends_with(entry.path().filename().string(), ".bench")) {
+      paths.push_back(entry.path().string());
+    }
+  }
+  // directory_iterator order is unspecified; sort for stable suite order.
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+std::vector<Benchmark> read_benchmark_dir(const std::string& dir) {
+  std::vector<Benchmark> suite;
+  for (const std::string& path : list_benchmark_files(dir)) {
+    suite.push_back(read_benchmark_file(path));
+  }
+  return suite;
 }
 
 void write_benchmark(const Benchmark& bench, std::ostream& out) {
+  // Names are single tokens in the format; writing one with whitespace
+  // would silently corrupt on read-back.
+  auto check_token = [](const std::string& name, const char* what) {
+    if (name.empty() || name.find_first_of(" \t\n\r#") != std::string::npos) {
+      throw std::invalid_argument("write_benchmark: " + std::string(what) +
+                                  " name '" + name +
+                                  "' is not a plain token (empty, whitespace "
+                                  "or '#')");
+    }
+  };
+  check_token(bench.name, "benchmark");
+  for (const WireType& w : bench.tech.wires) check_token(w.name, "wire");
+  for (const InverterType& inv : bench.tech.inverters) check_token(inv.name, "inverter");
+  for (const Sink& s : bench.sinks) check_token(s.name, "sink");
+
   out.precision(17);  // lossless double round-trip
   out << "# contango CNS benchmark\n";
+  out << "units " << kUnits[0] << " " << kUnits[1] << " " << kUnits[2] << " "
+      << kUnits[3] << "\n";
   out << "name " << bench.name << "\n";
   out << "die " << bench.die.xlo << " " << bench.die.ylo << " " << bench.die.xhi
       << " " << bench.die.yhi << "\n";
@@ -102,10 +218,12 @@ void write_benchmark(const Benchmark& bench, std::ostream& out) {
         << inv.output_cap << " " << inv.output_res << " "
         << inv.intrinsic_delay << "\n";
   }
+  out << "sinks " << bench.sinks.size() << "\n";
   for (const Sink& s : bench.sinks) {
     out << "sink " << s.name << " " << s.position.x << " " << s.position.y
         << " " << s.cap << "\n";
   }
+  out << "obstacles " << bench.obstacle_rects.size() << "\n";
   for (const Rect& r : bench.obstacle_rects) {
     out << "obstacle " << r.xlo << " " << r.ylo << " " << r.xhi << " " << r.yhi
         << "\n";

@@ -11,22 +11,33 @@
 
 namespace contango {
 
-/// Worker count to use when a caller passes 0 ("pick for me").
+/// \file parallel.h
+/// \brief Minimal threading primitives for the experiment harness: a
+/// fixed-size ThreadPool for heterogeneous job sets and parallel_for() for
+/// index-space fan-out.  Both degrade to inline serial execution at one
+/// thread, which keeps single-threaded runs byte-for-byte reproducible.
+
+/// \brief Worker count to use when a caller passes 0 ("pick for me").
+/// \return std::thread::hardware_concurrency(), or 1 when that is unknown
 inline int hardware_threads() {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
-/// Fixed-size thread pool for fanning independent jobs (whole Contango runs,
-/// baseline flows, batch evaluations) across cores.  Submitted tasks must be
-/// independent: the pool gives no ordering guarantee between them, so any
-/// shared state they touch must be their own output slot or atomic.
+/// \brief Fixed-size thread pool for fanning independent jobs (whole
+/// Contango runs, baseline flows, batch evaluations) across cores.
+///
+/// Submitted tasks must be independent: the pool gives no ordering
+/// guarantee between them, so any shared state they touch must be their
+/// own output slot or atomic.
 ///
 /// With num_threads <= 1 the pool spawns no workers and submit() runs the
 /// task inline, which keeps single-threaded runs byte-for-byte reproducible
 /// and easy to debug/profile.
 class ThreadPool {
  public:
+  /// \param num_threads worker count; 0 picks hardware_threads(), <= 1
+  ///        selects inline mode (no worker threads at all)
   explicit ThreadPool(int num_threads = 0) {
     if (num_threads <= 0) num_threads = hardware_threads();
     if (num_threads <= 1) return;  // inline mode
@@ -54,8 +65,12 @@ class ThreadPool {
     return workers_.empty() ? 1 : static_cast<int>(workers_.size());
   }
 
-  /// Enqueues one task.  In inline mode the task runs before submit()
-  /// returns.
+  /// \brief Enqueues one task.
+  ///
+  /// In inline mode the task runs before submit() returns.  Tasks must not
+  /// throw — wrap the body and record failures in the task's own output
+  /// slot (see run_suite() for the pattern).
+  /// \param task the job to run on some worker, at some later time
   void submit(std::function<void()> task) {
     if (workers_.empty()) {
       task();
@@ -104,11 +119,15 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-/// Runs fn(i) for i in [0, n) on up to num_threads workers (0 = hardware
-/// concurrency).  fn is invoked exactly once per index; indices are handed
-/// out dynamically so uneven job sizes still balance.  Blocks until all
-/// iterations finish.  fn must not throw — wrap the body and record errors
-/// in the output slot instead (see run_suite for the pattern).
+/// \brief Runs fn(i) for i in [0, n) on up to num_threads workers.
+///
+/// fn is invoked exactly once per index; indices are handed out dynamically
+/// so uneven job sizes still balance.  Blocks until all iterations finish.
+/// \param n iteration count
+/// \param num_threads worker cap; 0 = hardware concurrency, 1 = serial
+/// \param fn callable taking the index; must not throw — wrap the body and
+///        record errors in the output slot instead (see run_suite() for the
+///        pattern)
 template <typename Fn>
 void parallel_for(int n, int num_threads, Fn&& fn) {
   if (n <= 0) return;

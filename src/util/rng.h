@@ -5,34 +5,66 @@
 
 namespace contango {
 
-/// Deterministic random number generator used by benchmark generators and
-/// property tests.  A thin wrapper around std::mt19937_64 so every consumer
-/// seeds explicitly and results are reproducible across runs and platforms.
+/// \file rng.h
+/// Deterministic random number generator used by the benchmark generators,
+/// the scenario registry and the property tests.
+///
+/// The engine is std::mt19937_64, whose raw 64-bit output sequence is fixed
+/// by the C++ standard.  The *distributions*, however, are deliberately NOT
+/// the std:: ones: std::uniform_real_distribution, std::normal_distribution
+/// and friends are implementation-defined, so the same seed produces
+/// different deviates under libstdc++, libc++ and MSVC.  Every deviate here
+/// is instead derived from raw engine words using only IEEE-exact
+/// arithmetic (shifts, adds, multiplies — no libm), which makes generated
+/// benchmarks bit-identical across platforms, compilers and standard
+/// libraries.  CI relies on this: the checked-in benchmarks/ instances are
+/// diffed against a fresh export on every run.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}
 
+  /// Next raw engine word (portable by the standard).
+  std::uint64_t next64() { return engine_(); }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double unit() { return static_cast<double>(next64() >> 11) * 0x1.0p-53; }
+
   /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi) {
-    return std::uniform_real_distribution<double>(lo, hi)(engine_);
-  }
+  double uniform(double lo, double hi) { return lo + unit() * (hi - lo); }
 
-  /// Uniform integer in [lo, hi] (inclusive).
+  /// Uniform integer in [lo, hi] (inclusive), unbiased via rejection
+  /// sampling on the raw engine output.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
-    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    const std::uint64_t range =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1u;
+    if (range == 0) {  // full 64-bit span: every word is already uniform
+      return static_cast<std::int64_t>(next64());
+    }
+    // Reject the low `2^64 mod range` words; the remaining span is an exact
+    // multiple of `range`, so the modulo below is unbiased.
+    const std::uint64_t threshold = (0u - range) % range;
+    for (;;) {
+      const std::uint64_t word = next64();
+      if (word >= threshold) {
+        return lo + static_cast<std::int64_t>((word - threshold) % range);
+      }
+    }
   }
 
-  /// Normal deviate.
+  /// Approximate normal deviate: sum of 12 unit uniforms minus 6
+  /// (Irwin-Hall / central-limit construction, variance exactly 1).  Chosen
+  /// over Box-Muller because it needs no libm calls, whose last-ulp rounding
+  /// varies across libc versions and would break cross-platform
+  /// bit-reproducibility.  Tails truncate at +-6 sigma, which is irrelevant
+  /// for geometry scatter.  Always consumes exactly 12 engine words.
   double gaussian(double mean, double stddev) {
-    return std::normal_distribution<double>(mean, stddev)(engine_);
+    double sum = 0.0;
+    for (int i = 0; i < 12; ++i) sum += unit();
+    return mean + stddev * (sum - 6.0);
   }
 
   /// Bernoulli trial with probability p of returning true.
-  bool chance(double p) {
-    return std::bernoulli_distribution(p)(engine_);
-  }
-
-  std::mt19937_64& engine() { return engine_; }
+  bool chance(double p) { return unit() < p; }
 
  private:
   std::mt19937_64 engine_;

@@ -101,6 +101,153 @@ TEST(BenchmarkIo, RejectsMalformedInput) {
   EXPECT_THROW(read_benchmark(bad), std::runtime_error);
 }
 
+TEST(BenchmarkIo, ErrorsCarryLineNumberAndContext) {
+  std::stringstream bad("name x\n\nfrobnicate 1 2 3\n");
+  try {
+    read_benchmark(bad, "weird.bench");
+    FAIL() << "expected BenchmarkParseError";
+  } catch (const BenchmarkParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("weird.bench:3:"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BenchmarkIo, RejectsBadUnits) {
+  // nm/ns files must fail loudly instead of parsing misscaled.
+  std::stringstream bad("units nm ns fF kohm\nname x\n");
+  try {
+    read_benchmark(bad);
+    FAIL() << "expected BenchmarkParseError";
+  } catch (const BenchmarkParseError& e) {
+    EXPECT_EQ(e.line(), 1u);
+    EXPECT_NE(std::string(e.what()).find("units"), std::string::npos);
+  }
+  std::stringstream incomplete("units um ps\n");
+  EXPECT_THROW(read_benchmark(incomplete), BenchmarkParseError);
+  std::stringstream good(
+      "units um ps fF kohm\nname x\ndie 0 0 100 100\nsource 50 0\n"
+      "wire w1 0.0001 0.2\ninverter i 4 6 0.4 6\n"
+      "sink s0 50 50 3\ncorners 1.2 1.0\n");
+  EXPECT_NO_THROW(read_benchmark(good));
+}
+
+TEST(BenchmarkIo, RejectsMalformedObstacle) {
+  // xhi < xlo: a syntactically-present but geometrically-impossible rect is
+  // a parse error at its own line, not a late validate() failure.
+  std::stringstream bad(
+      "name x\ndie 0 0 100 100\nsource 50 0\n"
+      "obstacle 30 30 10 40\n"
+      "wire w1 0.0001 0.2\ninverter i 4 6 0.4 6\nsink s0 50 50 3\n");
+  try {
+    read_benchmark(bad);
+    FAIL() << "expected BenchmarkParseError";
+  } catch (const BenchmarkParseError& e) {
+    EXPECT_EQ(e.line(), 4u);
+    EXPECT_NE(std::string(e.what()).find("obstacle"), std::string::npos);
+  }
+}
+
+TEST(BenchmarkIo, RejectsTruncatedSinkList) {
+  std::stringstream bad(
+      "name x\ndie 0 0 100 100\nsource 50 0\n"
+      "wire w1 0.0001 0.2\ninverter i 4 6 0.4 6\n"
+      "sinks 3\nsink s0 10 10 3\nsink s1 20 20 3\n");
+  try {
+    read_benchmark(bad);
+    FAIL() << "expected BenchmarkParseError";
+  } catch (const BenchmarkParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("declared 3"), std::string::npos);
+  }
+}
+
+TEST(BenchmarkIo, SurplusEntriesReportCountMismatch) {
+  std::stringstream bad(
+      "name x\ndie 0 0 100 100\nsource 50 0\n"
+      "wire w1 0.0001 0.2\ninverter i 4 6 0.4 6\n"
+      "sinks 1\nsink s0 10 10 3\nsink s1 20 20 3\n");
+  try {
+    read_benchmark(bad);
+    FAIL() << "expected BenchmarkParseError";
+  } catch (const BenchmarkParseError& e) {
+    // More entries than declared is a mismatch, not a "truncation".
+    EXPECT_NE(std::string(e.what()).find("count mismatch"), std::string::npos)
+        << e.what();
+    EXPECT_EQ(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+}
+
+TEST(BenchmarkIo, RejectsTrailingTokens) {
+  std::stringstream bad("name x\ndie 0 0 100 100 9\n");
+  try {
+    read_benchmark(bad);
+    FAIL() << "expected BenchmarkParseError";
+  } catch (const BenchmarkParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("trailing"), std::string::npos);
+  }
+  std::stringstream bad_corners("corners 1.2 oops\n");
+  EXPECT_THROW(read_benchmark(bad_corners), BenchmarkParseError);
+  std::stringstream comment_ok(
+      "name x  # trailing comments are fine\ndie 0 0 100 100\nsource 50 0\n"
+      "wire w1 0.0001 0.2\ninverter i 4 6 0.4 6\nsink s0 50 50 3\n");
+  EXPECT_NO_THROW(read_benchmark(comment_ok));
+}
+
+TEST(BenchmarkIo, WriterRejectsNamesThatCannotRoundTrip) {
+  Benchmark b;
+  b.name = "my design";  // would parse back as "my" + trailing token
+  b.die = Rect{0, 0, 100, 100};
+  b.source = Point{50, 0};
+  b.tech = ispd09_technology();
+  b.sinks.push_back(Sink{"s0", Point{50, 50}, 5.0});
+  std::stringstream out;
+  EXPECT_THROW(write_benchmark(b, out), std::invalid_argument);
+  b.name = "my_design";
+  b.sinks[0].name = "";
+  EXPECT_THROW(write_benchmark(b, out), std::invalid_argument);
+  b.sinks[0].name = "s0";
+  EXPECT_NO_THROW(write_benchmark(b, out));
+}
+
+TEST(BenchmarkIo, RejectsTruncatedObstacleList) {
+  std::stringstream bad(
+      "name x\ndie 0 0 100 100\nsource 50 0\n"
+      "wire w1 0.0001 0.2\ninverter i 4 6 0.4 6\nsink s0 50 50 3\n"
+      "obstacles 2\nobstacle 10 10 20 20\n");
+  EXPECT_THROW(read_benchmark(bad), BenchmarkParseError);
+}
+
+TEST(BenchmarkIo, CountDeclarationsAcceptedWhenExact) {
+  std::stringstream in(
+      "name x\ndie 0 0 100 100\nsource 50 0\n"
+      "wire w1 0.0001 0.2\ninverter i 4 6 0.4 6\n"
+      "sinks 2\nsink s0 10 10 3\nsink s1 20 20 3\n"
+      "obstacles 1\nobstacle 30 30 40 40\n");
+  const Benchmark b = read_benchmark(in);
+  EXPECT_EQ(b.sinks.size(), 2u);
+  EXPECT_EQ(b.obstacle_rects.size(), 1u);
+}
+
+TEST(Generators, RingDeterministicAndLegal) {
+  RingGenParams params;
+  params.seed = 11;
+  const Benchmark a = generate_ring(params);
+  const Benchmark b = generate_ring(params);
+  ASSERT_EQ(a.sinks.size(), static_cast<std::size_t>(params.num_sinks));
+  for (std::size_t i = 0; i < a.sinks.size(); ++i) {
+    EXPECT_EQ(a.sinks[i].position, b.sinks[i].position);
+  }
+  // The central macro must stay sink-free.
+  ASSERT_FALSE(a.obstacle_rects.empty());
+  for (const Sink& s : a.sinks) {
+    EXPECT_FALSE(a.obstacles().blocks_point(s.position))
+        << "sink " << s.name << " inside the core macro";
+  }
+}
+
 TEST(BenchmarkIo, RejectsInvalidBenchmark) {
   // Sink outside the die.
   std::stringstream bad(
