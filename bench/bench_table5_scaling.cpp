@@ -68,14 +68,21 @@ int main() {
     return 0;
   }
 
-  SuiteOptions options;
-  options.threads = static_cast<int>(env_long("CONTANGO_THREADS", 0));
+  // CONTANGO_THREADS, the optional CONTANGO_MC_* Monte-Carlo pass, and
+  // CONTANGO_JSON_OUT for the machine-readable report.
+  SuiteOptions options = suite_options_from_env();
   options.on_run_done = [](const SuiteRun& run) {  // progress per finished run
     std::printf("  done %-8s %6.1f s%s\n", run.benchmark.c_str(), run.seconds,
                 run.ok ? "" : " (FAILED)");
     std::fflush(stdout);
   };
-  const SuiteReport report = run_suite(suite, options);
+  SuiteReport report;
+  try {
+    report = run_suite(suite, options);
+  } catch (const std::exception& e) {  // e.g. CONTANGO_JSON_OUT unwritable
+    std::fprintf(stderr, "bench_table5_scaling: %s\n", e.what());
+    return 1;
+  }
 
   std::printf("\n%s\n", report.table().c_str());
   std::printf("%d threads: %.1f s wall, %.1f s process CPU "
@@ -84,5 +91,8 @@ int main() {
               report.process_cpu_seconds / report.wall_seconds,
               report.total_sim_runs());
   std::printf("Set CONTANGO_MAX_SINKS=50000 to run the paper's full sweep.\n");
+  if (!options.json_report_path.empty()) {
+    std::printf("JSON report written to %s\n", options.json_report_path.c_str());
+  }
   return report.all_ok() ? 0 : 1;
 }

@@ -63,12 +63,15 @@ Evaluator::Evaluator(const Benchmark& bench, EvalOptions options)
   for (const Sink& s : bench.sinks) sink_caps_.push_back(s.cap);
 }
 
-EvalResult Evaluator::evaluate(const ClockTree& tree) {
-  sim_runs_.fetch_add(1, std::memory_order_relaxed);
-  const StagedNetlist net = extract_stages(tree, bench_, options_.extract);
+EvalResult evaluate_netlist(const StagedNetlist& net, const Benchmark& bench,
+                            const TransientSimulator& sim, Ps source_input_slew,
+                            const std::vector<Volt>* stage_vdd_delta) {
+  if (stage_vdd_delta && stage_vdd_delta->size() != net.stages.size()) {
+    throw std::invalid_argument("evaluate_netlist: stage_vdd_delta size " +
+                                std::to_string(stage_vdd_delta->size()) +
+                                " != stage count " + std::to_string(net.stages.size()));
+  }
   EvalResult result;
-  result.total_cap = tree.total_cap(bench_.tech, sink_caps_);
-  result.cap_violation = bench_.tech.cap_limit > 0.0 && result.total_cap > bench_.tech.cap_limit;
 
   /// Event at a stage driver's input.
   struct Event {
@@ -77,44 +80,41 @@ EvalResult Evaluator::evaluate(const ClockTree& tree) {
     Transition dir = Transition::kRise;  ///< direction at the driver input
   };
 
-  for (Volt vdd : bench_.tech.corners) {
+  for (Volt vdd : bench.tech.corners) {
     CornerTiming corner;
     corner.vdd = vdd;
     for (auto& per_transition : corner.sinks) {
-      per_transition.assign(bench_.sinks.size(), SinkTiming{});
+      per_transition.assign(bench.sinks.size(), SinkTiming{});
     }
 
     for (int t = 0; t < kNumTransitions; ++t) {
       const auto source_dir = static_cast<Transition>(t);
       std::vector<Event> events(net.stages.size());
       std::vector<char> scheduled(net.stages.size(), 0);
-      events[0] = Event{0.0, options_.source_input_slew, source_dir};
+      events[0] = Event{0.0, source_input_slew, source_dir};
       scheduled[0] = 1;
 
       // Stages are created parent-before-child by extraction, so a single
       // forward sweep is a valid topological propagation.
       for (std::size_t si = 0; si < net.stages.size(); ++si) {
         if (!scheduled[si]) {
-          throw std::logic_error("Evaluator: stage scheduled out of order");
+          throw std::logic_error("evaluate_netlist: stage scheduled out of order");
         }
         const Stage& stage = net.stages[si];
         const Event& ev = events[si];
 
         // The clock source is non-inverting; composite buffers invert.
-        const TreeNode& driver = tree.node(stage.driver);
         Transition out_dir = ev.dir;
-        KOhm r_nom = bench_.source_res;
-        Ps intrinsic_nom = 0.0;
-        if (driver.is_buffer()) {
-          const CompositeElectrical e = bench_.tech.electrical(driver.buffer);
-          r_nom = e.output_res;
-          intrinsic_nom = e.intrinsic_delay;
+        if (stage.driver_inverts) {
           out_dir = (ev.dir == Transition::kRise) ? Transition::kFall : Transition::kRise;
         }
-        const KOhm r_drv = effective_driver_res(r_nom, bench_.tech, vdd, out_dir);
-        const Ps intrinsic = effective_intrinsic(intrinsic_nom, bench_.tech, vdd);
+        const Volt vdd_stage = stage_vdd_delta ? vdd + (*stage_vdd_delta)[si] : vdd;
+        const KOhm r_drv =
+            effective_driver_res(stage.driver_res_nom, bench.tech, vdd_stage, out_dir);
+        const Ps intrinsic =
+            effective_intrinsic(stage.driver_intrinsic_nom, bench.tech, vdd_stage);
 
-        const std::vector<TapTiming> taps = sim_.simulate_stage(stage, r_drv, intrinsic, ev.slew);
+        const std::vector<TapTiming> taps = sim.simulate_stage(stage, r_drv, intrinsic, ev.slew);
 
         std::size_t next_stage = 0;
         for (std::size_t k = 0; k < stage.taps.size(); ++k) {
@@ -145,7 +145,7 @@ EvalResult Evaluator::evaluate(const ClockTree& tree) {
       }
     }
   }
-  result.slew_violation = result.worst_slew > bench_.tech.slew_limit;
+  result.slew_violation = result.worst_slew > bench.tech.slew_limit;
   if (!result.corners.empty()) {
     result.nominal_skew = result.corners.front().skew();
     result.max_latency = result.corners.front().max_latency();
@@ -157,6 +157,21 @@ EvalResult Evaluator::evaluate(const ClockTree& tree) {
   } else {
     result.clr = result.nominal_skew;
   }
+  return result;
+}
+
+void account_capacitance(EvalResult& result, const ClockTree& tree,
+                         const Benchmark& bench, const std::vector<Ff>& sink_caps) {
+  result.total_cap = tree.total_cap(bench.tech, sink_caps);
+  result.cap_violation = bench.tech.cap_limit > 0.0 && result.total_cap > bench.tech.cap_limit;
+}
+
+EvalResult Evaluator::evaluate(const ClockTree& tree) {
+  sim_runs_.fetch_add(1, std::memory_order_relaxed);
+  const StagedNetlist net = extract_stages(tree, bench_, options_.extract);
+  EvalResult result =
+      evaluate_netlist(net, bench_, sim_, options_.source_input_slew);
+  account_capacitance(result, tree, bench_, sink_caps_);
   return result;
 }
 

@@ -58,6 +58,33 @@ struct EvalOptions {
   Ps source_input_slew = 10.0;  ///< transition time of the external clock
 };
 
+struct VariationModel;  // analysis/variation.h
+struct McOptions;       // analysis/montecarlo.h
+struct McReport;        // analysis/montecarlo.h
+
+/// \brief Full Clock-Network Evaluation over an already-extracted staged
+/// netlist: every (supply corner x source transition) combination, skew,
+/// CLR and slew aggregation.
+///
+/// This is the corner-propagation core shared by Evaluator::evaluate() and
+/// the Monte-Carlo variation engine (analysis/montecarlo.h).  Capacitance
+/// accounting (`total_cap`, `cap_violation`) is the caller's job — it needs
+/// the ClockTree, not the staged netlist.
+///
+/// \param stage_vdd_delta optional per-stage supply offsets (volts), indexed
+///        like net.stages; each corner evaluates stage i at
+///        `corner + (*stage_vdd_delta)[i]`.  nullptr means every stage sits
+///        exactly at the corner voltage — bit-identical to the nominal path.
+EvalResult evaluate_netlist(const StagedNetlist& net, const Benchmark& bench,
+                            const TransientSimulator& sim, Ps source_input_slew,
+                            const std::vector<Volt>* stage_vdd_delta = nullptr);
+
+/// Fills `total_cap`/`cap_violation` of `result` — the capacitance half of
+/// CNE that evaluate_netlist() cannot compute (it needs the ClockTree).
+/// `sink_caps[i]` is the pin cap of benchmark sink i.
+void account_capacitance(EvalResult& result, const ClockTree& tree,
+                         const Benchmark& bench, const std::vector<Ff>& sink_caps);
+
 /// Clock-Network Evaluation: runs the transient engine over every stage of
 /// the tree for every (supply corner x source transition) combination and
 /// aggregates skew, CLR, slew and capacitance checks.  Each evaluate() call
@@ -68,6 +95,20 @@ class Evaluator {
   explicit Evaluator(const Benchmark& bench, EvalOptions options = {});
 
   EvalResult evaluate(const ClockTree& tree);
+
+  /// \brief Monte-Carlo evaluation under process/supply variation: runs
+  /// `trials` randomized perturbations of the network (per-stage Vdd
+  /// deviates, global wire R/C scaling, per-sink load jitter — see
+  /// analysis/variation.h) and aggregates streaming skew/CLR/latency
+  /// statistics plus yield against a skew target.
+  ///
+  /// Each trial counts as one simulation run.  Results are bit-identical
+  /// for any worker count (analysis/montecarlo.h).  Trials use this
+  /// Evaluator's own EvalOptions — `options.eval` is ignored — so the MC
+  /// distribution is always comparable to this Evaluator's nominal
+  /// evaluate().  Defined in montecarlo.cpp.
+  McReport evaluate_mc(const ClockTree& tree, int trials,
+                       const VariationModel& model, const McOptions& options);
 
   /// Number of evaluate() calls so far ("SPICE runs").  Atomic so that
   /// per-thread evaluator counts can be read and aggregated (e.g. into a

@@ -1,0 +1,257 @@
+#include "analysis/montecarlo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "io/json.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace contango {
+namespace {
+
+/// Trials per streaming block.  The block is the unit of order-independent
+/// aggregation: whichever worker computes a block, its partial statistics
+/// are merged in block-index order, so the merged result is a pure function
+/// of (model, trial count) — never of scheduling.
+constexpr int kTrialsPerBlock = 32;
+
+/// Per-block partial aggregates, merged in block order by the driver.
+struct BlockStats {
+  StreamingStats skew;
+  StreamingStats clr;
+  StreamingStats max_latency;
+  long legal = 0;
+  long pass = 0;  ///< legal and skew <= target
+};
+
+/// Applies one trial's perturbation to a scratch copy of the base netlist.
+///
+/// Wire R/C scale globally; pin capacitances (sink pins, buffer input and
+/// output pins) are exempt from wire scaling — extraction records them per
+/// tap/stage — and sink pins additionally take their per-sink jitter
+/// factor.  With the zero model every adjustment is exactly 0.0 and the
+/// scratch netlist is bit-identical to the base.
+void apply_variation(const StagedNetlist& base, const TrialVariation& v,
+                     StagedNetlist& scratch) {
+  scratch = base;  // copy-assign reuses the scratch buffers across trials
+  const double rs = v.wire_r_scale;
+  const double cs = v.wire_c_scale;
+  for (Stage& stage : scratch.stages) {
+    for (RcNode& node : stage.nodes) {
+      node.res *= rs;
+      node.cap *= cs;
+    }
+    stage.nodes[0].cap += stage.driver_pin_cap * (1.0 - cs);
+    for (const Tap& tap : stage.taps) {
+      const double pin_scale =
+          tap.is_sink ? v.sink_cap_scale[static_cast<std::size_t>(tap.sink_index)]
+                      : 1.0;
+      stage.nodes[static_cast<std::size_t>(tap.rc_index)].cap +=
+          tap.pin_cap * (pin_scale - cs);
+    }
+  }
+}
+
+/// Nearest-rank index into an already-sorted sample vector.
+double sorted_percentile(const std::vector<double>& sorted, double p) {
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+MetricSummary summarize(const StreamingStats& stats, std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());  // one sort serves all ranks
+  MetricSummary s;
+  s.mean = stats.mean();
+  s.stddev = stats.stddev();
+  s.min = stats.min();
+  s.max = stats.max();
+  s.p50 = sorted_percentile(samples, 50.0);
+  s.p95 = sorted_percentile(samples, 95.0);
+  s.p99 = sorted_percentile(samples, 99.0);
+  return s;
+}
+
+void write_summary(JsonWriter& w, const char* name, const MetricSummary& s) {
+  w.key(name);
+  w.begin_object();
+  w.kv("mean", s.mean);
+  w.kv("stddev", s.stddev);
+  w.kv("min", s.min);
+  w.kv("max", s.max);
+  w.kv("p50", s.p50);
+  w.kv("p95", s.p95);
+  w.kv("p99", s.p99);
+  w.end_object();
+}
+
+}  // namespace
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) throw std::invalid_argument("percentile: empty sample set");
+  if (!(p > 0.0 && p <= 100.0)) {
+    throw std::invalid_argument("percentile: p must be in (0, 100]");
+  }
+  std::sort(samples.begin(), samples.end());
+  return sorted_percentile(samples, p);
+}
+
+McReport run_montecarlo(const Benchmark& bench, const ClockTree& tree,
+                        const VariationModel& model, const McOptions& options) {
+  if (options.trials <= 0) {
+    throw std::invalid_argument("run_montecarlo: trials must be positive");
+  }
+  const Timer timer;
+  McReport report;
+  report.benchmark = bench.name;
+  report.trials = options.trials;
+  report.threads = options.threads <= 0 ? hardware_threads() : options.threads;
+  report.model = model;
+  report.skew_target = options.skew_target;
+
+  const StagedNetlist base = extract_stages(tree, bench, options.eval.extract);
+  if (base.stages.empty()) {
+    throw std::invalid_argument("run_montecarlo: empty clock tree");
+  }
+  const TransientSimulator sim(options.eval.transient);
+
+  // Nominal (unperturbed) reference, including the capacitance gate.
+  report.nominal = evaluate_netlist(base, bench, sim, options.eval.source_input_slew);
+  std::vector<Ff> sink_caps;
+  sink_caps.reserve(bench.sinks.size());
+  for (const Sink& s : bench.sinks) sink_caps.push_back(s.cap);
+  account_capacitance(report.nominal, tree, bench, sink_caps);
+
+  const int trials = options.trials;
+  const int num_blocks = (trials + kTrialsPerBlock - 1) / kTrialsPerBlock;
+  report.samples.assign(static_cast<std::size_t>(trials), McTrial{});
+  std::vector<BlockStats> blocks(static_cast<std::size_t>(num_blocks));
+
+  // Trials are embarrassingly parallel: each writes its own slot, draws
+  // from its own substream, and accumulates into its block's stats.  Blocks
+  // are handed out dynamically; determinism comes from the fixed
+  // trial->block partition and the in-order merge below, not from
+  // scheduling.
+  parallel_for(num_blocks, report.threads, [&](int b) {
+    BlockStats& block = blocks[static_cast<std::size_t>(b)];
+    StagedNetlist scratch;
+    const int begin = b * kTrialsPerBlock;
+    const int end = std::min(begin + kTrialsPerBlock, trials);
+    for (int trial = begin; trial < end; ++trial) {
+      const TrialVariation v = sample_trial(model, bench.tech, trial,
+                                            base.stages.size(), bench.sinks.size());
+      apply_variation(base, v, scratch);
+      const EvalResult eval =
+          evaluate_netlist(scratch, bench, sim, options.eval.source_input_slew,
+                           &v.stage_vdd_delta);
+      McTrial& t = report.samples[static_cast<std::size_t>(trial)];
+      t.skew = eval.nominal_skew;
+      t.clr = eval.clr;
+      t.max_latency = eval.max_latency;
+      t.worst_slew = eval.worst_slew;
+      t.legal = !eval.slew_violation && eval.all_sinks_reached;
+      block.skew.add(t.skew);
+      block.clr.add(t.clr);
+      block.max_latency.add(t.max_latency);
+      if (t.legal) {
+        ++block.legal;
+        if (t.skew <= options.skew_target) ++block.pass;
+      }
+    }
+  });
+
+  StreamingStats skew_stats, clr_stats, latency_stats;
+  long legal = 0, pass = 0;
+  for (const BlockStats& block : blocks) {  // deterministic merge order
+    skew_stats.merge(block.skew);
+    clr_stats.merge(block.clr);
+    latency_stats.merge(block.max_latency);
+    legal += block.legal;
+    pass += block.pass;
+  }
+
+  std::vector<double> skews, clrs, latencies;
+  skews.reserve(report.samples.size());
+  clrs.reserve(report.samples.size());
+  latencies.reserve(report.samples.size());
+  for (const McTrial& t : report.samples) {
+    skews.push_back(t.skew);
+    clrs.push_back(t.clr);
+    latencies.push_back(t.max_latency);
+  }
+  report.skew = summarize(skew_stats, std::move(skews));
+  report.clr = summarize(clr_stats, std::move(clrs));
+  report.max_latency = summarize(latency_stats, std::move(latencies));
+  report.legal_fraction = static_cast<double>(legal) / static_cast<double>(trials);
+  report.yield = static_cast<double>(pass) / static_cast<double>(trials);
+  report.wall_seconds = timer.seconds();
+  return report;
+}
+
+McReport Evaluator::evaluate_mc(const ClockTree& tree, int trials,
+                                const VariationModel& model,
+                                const McOptions& options) {
+  McOptions opts = options;
+  opts.trials = trials;
+  opts.eval = options_;
+  McReport report = run_montecarlo(bench_, tree, model, opts);
+  // Every trial is one full CNE pass — count it against the SPICE-run
+  // budget like any other evaluation.
+  sim_runs_.fetch_add(trials, std::memory_order_relaxed);
+  return report;
+}
+
+std::string McReport::to_json(bool with_samples) const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("type", "contango_mc_report");
+  w.kv("benchmark", benchmark);
+  w.kv("trials", static_cast<long>(trials));
+  w.kv("threads", static_cast<long>(threads));
+  w.kv("seed", static_cast<unsigned long long>(model.seed));
+  w.key("model");
+  w.begin_object();
+  w.kv("sigma_vdd", model.sigma_vdd);
+  w.kv("sigma_wire_r", model.sigma_wire_r);
+  w.kv("sigma_wire_c", model.sigma_wire_c);
+  w.kv("sigma_sink_cap", model.sigma_sink_cap);
+  w.end_object();
+  w.kv("skew_target_ps", skew_target);
+  w.key("nominal");
+  w.begin_object();
+  w.kv("skew_ps", nominal.nominal_skew);
+  w.kv("clr_ps", nominal.clr);
+  w.kv("max_latency_ps", nominal.max_latency);
+  w.kv("worst_slew_ps", nominal.worst_slew);
+  w.kv("total_cap_ff", nominal.total_cap);
+  w.kv("legal", nominal.legal());
+  w.end_object();
+  write_summary(w, "skew_ps", skew);
+  write_summary(w, "clr_ps", clr);
+  write_summary(w, "max_latency_ps", max_latency);
+  w.kv("yield", yield);
+  w.kv("legal_fraction", legal_fraction);
+  w.kv("wall_seconds", wall_seconds);
+  if (with_samples) {
+    w.key("samples");
+    w.begin_array();
+    for (const McTrial& t : samples) {
+      w.begin_object();
+      w.kv("skew_ps", t.skew);
+      w.kv("clr_ps", t.clr);
+      w.kv("max_latency_ps", t.max_latency);
+      w.kv("worst_slew_ps", t.worst_slew);
+      w.kv("legal", t.legal);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace contango

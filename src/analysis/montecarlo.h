@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "analysis/evaluate.h"
+#include "analysis/variation.h"
+
+namespace contango {
+
+/// \file montecarlo.h
+/// \brief Monte-Carlo variation engine: yield-aware skew/CLR analysis.
+///
+/// The driver fans `trials` randomized perturbations of a clock network
+/// (see analysis/variation.h) across a worker pool and aggregates
+/// streaming, order-independent statistics.  Trials are numbered, each
+/// trial draws from its own RNG substream and writes its own result slot,
+/// and partial statistics are merged in fixed block order — so the full
+/// report is **bit-identical for any thread count**.  A zero variation
+/// model reproduces the nominal corners exactly in every trial.
+
+/// \brief Order-independent streaming accumulator: count, Welford
+/// mean/variance, min/max.
+///
+/// add() streams one sample; merge() combines two accumulators with Chan's
+/// parallel-variance formula.  Bit-exact reproducibility holds as long as
+/// the *partition* of samples into accumulators and the *merge order* are
+/// fixed — the Monte-Carlo driver merges per-block accumulators in block
+/// index order, independent of which thread filled which block.
+class StreamingStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  void merge(const StreamingStats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  long count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  long count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  ///< sum of squared deviations from the running mean
+  double min_ = std::numeric_limits<double>::max();
+  double max_ = -std::numeric_limits<double>::max();
+};
+
+/// \brief Nearest-rank percentile: sorted[ceil(p/100 * n) - 1].
+///
+/// Deterministic (no interpolation, total order on finite doubles); the
+/// conventional definition for yield reporting.  Throws on an empty sample
+/// set or p outside (0, 100].
+double percentile(std::vector<double> samples, double p);
+
+/// Distribution summary of one metric over all trials.
+struct MetricSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Metrics of one Monte-Carlo trial (indexed by trial number).
+struct McTrial {
+  Ps skew = 0.0;         ///< nominal-corner worst skew of the perturbed network
+  Ps clr = 0.0;          ///< corner-to-corner latency range
+  Ps max_latency = 0.0;  ///< nominal-corner max sink latency
+  Ps worst_slew = 0.0;   ///< across all corners
+  bool legal = false;    ///< no slew violation, every sink reached
+};
+
+/// Options of the Monte-Carlo driver.
+struct McOptions {
+  int trials = 256;
+  /// Worker threads; 0 picks hardware concurrency, 1 runs serially.
+  /// Any value produces bit-identical reports.
+  int threads = 1;
+  /// Yield target: a trial passes when skew <= skew_target and legal.
+  Ps skew_target = 10.0;
+  /// Numerical options of the per-trial evaluation.  Note:
+  /// Evaluator::evaluate_mc overrides this with the evaluator's own
+  /// EvalOptions so trials stay comparable to its nominal evaluate().
+  EvalOptions eval;
+};
+
+/// Full Monte-Carlo report: nominal reference, per-metric distribution
+/// summaries, yield, and the raw per-trial records (index = trial number).
+struct McReport {
+  std::string benchmark;
+  int trials = 0;
+  int threads = 1;  ///< worker count actually used
+  VariationModel model;
+  Ps skew_target = 0.0;
+
+  EvalResult nominal;  ///< unperturbed evaluation of the same network
+
+  MetricSummary skew;
+  MetricSummary clr;
+  MetricSummary max_latency;
+
+  double yield = 0.0;           ///< fraction of trials legal with skew <= target
+  double legal_fraction = 0.0;  ///< fraction of trials with no violation
+  std::vector<McTrial> samples;
+  double wall_seconds = 0.0;
+
+  /// Serializes the report as a JSON object (io/json); `with_samples`
+  /// includes the per-trial array (one object per trial).
+  std::string to_json(bool with_samples = true) const;
+};
+
+/// \brief Runs the Monte-Carlo variation analysis on a synthesized tree.
+///
+/// Extracts the staged netlist once, then per trial: samples the trial's
+/// perturbation from its substream, applies wire/pin scaling to a scratch
+/// copy of the netlist, evaluates every (corner x transition) combination
+/// with per-stage supply offsets, and streams skew/CLR/latency into
+/// per-block accumulators merged in deterministic order.
+///
+/// \param bench the benchmark the tree was synthesized for
+/// \param tree synthesized clock tree (unchanged)
+/// \param model variation magnitudes + substream seed
+/// \param options trial count, worker threads, skew target, eval options
+McReport run_montecarlo(const Benchmark& bench, const ClockTree& tree,
+                        const VariationModel& model, const McOptions& options = {});
+
+}  // namespace contango

@@ -1,0 +1,61 @@
+#include "analysis/variation.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace contango {
+namespace {
+
+/// splitmix64 finalizer: avalanche-mixes (seed, trial) into a substream
+/// seed.  Sequential trial indices land in statistically unrelated regions
+/// of the mt19937_64 seed space, so per-trial substreams are decorrelated.
+std::uint64_t mix_substream(std::uint64_t seed, std::uint64_t trial) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (trial + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Multiplicative scale 1 + N(0, sigma), floored away from zero.
+double scale_deviate(Rng& rng, double sigma) {
+  return std::max(1.0 + rng.gaussian(0.0, sigma), 0.05);
+}
+
+}  // namespace
+
+TrialVariation sample_trial(const VariationModel& model, const Technology& tech,
+                            int trial, std::size_t num_stages,
+                            std::size_t num_sinks) {
+  Rng rng(mix_substream(model.seed, static_cast<std::uint64_t>(trial)));
+  TrialVariation v;
+
+  // Draw order is part of the substream contract: globals first, then the
+  // per-stage vector, then the per-sink vector.  With a zero sigma the
+  // gaussian still consumes its engine words, so enabling one variation
+  // source never reshuffles the draws of another.
+  v.wire_r_scale = scale_deviate(rng, model.sigma_wire_r);
+  v.wire_c_scale = scale_deviate(rng, model.sigma_wire_c);
+
+  const Volt vdd_floor = 0.25 * tech.vdd_nom;
+  const Volt sigma_volts = model.sigma_vdd * tech.vdd_nom;
+  // Clamp negative deltas against the lowest evaluation corner so
+  // vdd_corner + delta stays physical at every corner.  The clamp can only
+  // ever pull deltas toward zero, never push them positive: a corner that
+  // already sits below the floor must not bias zero-model trials.
+  Volt lowest = tech.vdd_nom;
+  for (Volt c : tech.corners) lowest = std::min(lowest, c);
+  const Volt min_delta = std::min(vdd_floor - lowest, 0.0);
+  v.stage_vdd_delta.resize(num_stages);
+  for (std::size_t s = 0; s < num_stages; ++s) {
+    v.stage_vdd_delta[s] = std::max(rng.gaussian(0.0, sigma_volts), min_delta);
+  }
+
+  v.sink_cap_scale.resize(num_sinks);
+  for (std::size_t s = 0; s < num_sinks; ++s) {
+    v.sink_cap_scale[s] = scale_deviate(rng, model.sigma_sink_cap);
+  }
+  return v;
+}
+
+}  // namespace contango

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/library.h"
+#include "util/units.h"
+
+namespace contango {
+
+/// \file variation.h
+/// \brief Variation model of the Monte-Carlo engine (analysis/montecarlo.h).
+///
+/// The ISPD'09/'10 clock-network contests judged entries by Monte-Carlo
+/// simulation under supply-voltage variation: worst skew and CLR over many
+/// randomized trials.  This model reproduces that evaluation axis and adds
+/// two process knobs on top:
+///
+///  * **per-stage supply deviates** — every buffer stage (and the clock
+///    source) sees `corner_vdd + N(0, sigma_vdd * vdd_nom)`, modelling IR
+///    drop and local supply noise;
+///  * **global wire R/C scaling** — one `1 + N(0, sigma)` factor per trial
+///    for wire resistance and one for wire capacitance, modelling
+///    metal-thickness / dielectric process shift (pin caps are untouched);
+///  * **per-sink load jitter** — each sink's pin cap is scaled by its own
+///    `1 + N(0, sigma_sink_cap)` deviate.
+///
+/// All deviates come from deterministic per-trial substreams of the
+/// bit-portable util/rng.h: trial i's draws depend only on (seed, i), never
+/// on which worker thread runs the trial or in what order, which is what
+/// makes Monte-Carlo results bit-identical for any thread count.
+
+/// Variation magnitudes.  All sigmas are relative (fractions); 0 disables
+/// that source.  A default-constructed model is the zero model: every trial
+/// reproduces the nominal corners exactly.
+struct VariationModel {
+  double sigma_vdd = 0.0;       ///< per-stage Vdd sigma as a fraction of vdd_nom
+  double sigma_wire_r = 0.0;    ///< global wire-resistance scale sigma
+  double sigma_wire_c = 0.0;    ///< global wire-capacitance scale sigma
+  double sigma_sink_cap = 0.0;  ///< per-sink pin-cap jitter sigma
+  std::uint64_t seed = 1;       ///< substream root; same seed => same trials
+
+  /// True when every sigma is zero (trials degenerate to the nominal corner).
+  bool is_zero() const {
+    return sigma_vdd == 0.0 && sigma_wire_r == 0.0 && sigma_wire_c == 0.0 &&
+           sigma_sink_cap == 0.0;
+  }
+};
+
+/// One sampled trial: the concrete perturbation applied to the staged
+/// netlist before Clock-Network Evaluation.
+struct TrialVariation {
+  std::vector<Volt> stage_vdd_delta;  ///< per-stage supply offset, volts
+  double wire_r_scale = 1.0;
+  double wire_c_scale = 1.0;
+  std::vector<double> sink_cap_scale;  ///< per-sink pin-cap factor
+};
+
+/// \brief Samples trial `trial` of the model from its own RNG substream.
+///
+/// The substream is seeded by an avalanche mix of (model.seed, trial), so
+/// draws of different trials are decorrelated and each trial's perturbation
+/// is a pure function of (model, trial, num_stages, num_sinks) — fully
+/// independent of thread count and evaluation order.  Scale factors are
+/// floored at 0.05 and per-stage supplies at 25% of vdd_nom so extreme
+/// deviates can never produce a non-physical (zero/negative) network.
+TrialVariation sample_trial(const VariationModel& model, const Technology& tech,
+                            int trial, std::size_t num_stages,
+                            std::size_t num_sinks);
+
+}  // namespace contango

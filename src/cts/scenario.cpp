@@ -209,12 +209,18 @@ std::vector<Benchmark> collect_workloads(const std::string& spec, std::uint64_t 
     // 1-sink run.
     std::string family = element;
     int num_sinks = 0;
+    bool malformed_override = false;
     const std::size_t colon = element.rfind(':');
     if (colon != std::string::npos) {
       const int parsed = parse_exact_int(element.substr(colon + 1));
       if (parsed >= 0) {
         num_sinks = parsed;
         family = element.substr(0, colon);
+      } else {
+        // Remember whether the prefix names a real family: if so and the
+        // element is not an on-disk path either, the override itself is
+        // the error to report, not "unknown element".
+        malformed_override = registry.contains(element.substr(0, colon));
       }
     }
     if (registry.contains(family)) {
@@ -226,6 +232,10 @@ std::vector<Benchmark> collect_workloads(const std::string& spec, std::uint64_t 
     std::error_code ec;
     if (std::filesystem::is_directory(element, ec)) {
       std::vector<Benchmark> dir = read_benchmark_dir(element);
+      if (dir.empty()) {
+        throw std::invalid_argument("workload element '" + element +
+                                    "' is a directory with no .bench files");
+      }
       for (Benchmark& b : dir) suite.push_back(std::move(b));
       continue;
     }
@@ -234,6 +244,12 @@ std::vector<Benchmark> collect_workloads(const std::string& spec, std::uint64_t 
       continue;
     }
 
+    if (malformed_override) {
+      throw std::invalid_argument(
+          "workload element '" + element + "': malformed sink-count override '" +
+          element.substr(colon + 1) + "' (expected a non-negative integer, e.g. '" +
+          element.substr(0, colon) + ":200')");
+    }
     throw std::invalid_argument(
         "workload element '" + element +
         "' is neither a registered scenario family nor an existing "

@@ -5,7 +5,9 @@
 #include <mutex>
 
 #include "cts/scenario.h"
+#include "io/json.h"
 #include "io/table.h"
+#include "util/env.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -13,7 +15,12 @@ namespace contango {
 
 long SuiteReport::total_sim_runs() const {
   long total = 0;
-  for (const SuiteRun& r : runs) total += r.result.sim_runs;
+  for (const SuiteRun& r : runs) {
+    total += r.result.sim_runs;
+    // Each Monte-Carlo trial is one full CNE pass; count it like any other
+    // evaluation (r.result.sim_runs only covers the synthesis flow).
+    if (r.has_mc) total += r.mc.trials;
+  }
   return total;
 }
 
@@ -31,23 +38,100 @@ bool SuiteReport::all_ok() const {
 }
 
 std::string SuiteReport::table() const {
-  TextTable table({"Benchmark", "Sinks", "CLR, ps", "Skew, ps", "Latency, ps",
-                   "Cap, pF", "Sims", "CPU, s"});
+  bool any_mc = false;
+  for (const SuiteRun& r : runs) any_mc = any_mc || r.has_mc;
+
+  std::vector<std::string> headers = {"Benchmark", "Sinks",   "CLR, ps",
+                                      "Skew, ps",  "Latency, ps", "Cap, pF",
+                                      "Sims",      "CPU, s"};
+  if (any_mc) {
+    headers.insert(headers.end(),
+                   {"MC skew u", "MC p95", "MC p99", "MC CLR p95", "Yield%"});
+  }
+  TextTable table(std::move(headers));
   for (const SuiteRun& r : runs) {
     if (!r.ok) {
       table.add_row({r.benchmark, std::to_string(r.num_sinks),
                      "FAILED: " + r.error});
       continue;
     }
-    table.add_row({r.benchmark, std::to_string(r.num_sinks),
-                   TextTable::num(r.result.eval.clr, 2),
-                   TextTable::num(r.result.eval.nominal_skew, 3),
-                   TextTable::num(r.result.eval.max_latency, 1),
-                   TextTable::num(r.result.eval.total_cap / 1000.0, 2),
-                   std::to_string(r.result.sim_runs),
-                   TextTable::num(r.seconds, 1)});
+    std::vector<std::string> row = {r.benchmark, std::to_string(r.num_sinks),
+                                    TextTable::num(r.result.eval.clr, 2),
+                                    TextTable::num(r.result.eval.nominal_skew, 3),
+                                    TextTable::num(r.result.eval.max_latency, 1),
+                                    TextTable::num(r.result.eval.total_cap / 1000.0, 2),
+                                    std::to_string(r.result.sim_runs),
+                                    TextTable::num(r.seconds, 1)};
+    if (r.has_mc) {
+      row.insert(row.end(), {TextTable::num(r.mc.skew.mean, 3),
+                             TextTable::num(r.mc.skew.p95, 3),
+                             TextTable::num(r.mc.skew.p99, 3),
+                             TextTable::num(r.mc.clr.p95, 2),
+                             TextTable::num(100.0 * r.mc.yield, 1)});
+    }
+    table.add_row(std::move(row));
   }
   return table.to_string();
+}
+
+std::string SuiteReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("type", "contango_suite_report");
+  w.kv("threads", static_cast<long>(threads));
+  w.kv("wall_seconds", wall_seconds);
+  w.kv("process_cpu_seconds", process_cpu_seconds);
+  w.kv("total_sim_runs", total_sim_runs());
+  w.kv("all_ok", all_ok());
+  w.key("runs");
+  w.begin_array();
+  for (const SuiteRun& r : runs) {
+    w.begin_object();
+    w.kv("benchmark", r.benchmark);
+    w.kv("num_sinks", static_cast<long>(r.num_sinks));
+    w.kv("ok", r.ok);
+    if (!r.ok) {
+      w.kv("error", r.error);
+      w.end_object();
+      continue;
+    }
+    w.kv("seconds", r.seconds);
+    w.kv("sim_runs", static_cast<long>(r.result.sim_runs));
+    w.kv("clr_ps", r.result.eval.clr);
+    w.kv("skew_ps", r.result.eval.nominal_skew);
+    w.kv("max_latency_ps", r.result.eval.max_latency);
+    w.kv("worst_slew_ps", r.result.eval.worst_slew);
+    w.kv("total_cap_ff", r.result.eval.total_cap);
+    w.kv("legal", r.result.eval.legal());
+    if (r.has_mc) {
+      // Embed the MC report without its per-trial samples: suite reports
+      // are the release-over-release record, and the summary is what CI
+      // diffs.  Full samples come from McReport::to_json(true).
+      w.key("mc");
+      w.begin_object();
+      w.kv("trials", static_cast<long>(r.mc.trials));
+      w.kv("seed", static_cast<unsigned long long>(r.mc.model.seed));
+      w.kv("sigma_vdd", r.mc.model.sigma_vdd);
+      w.kv("skew_target_ps", r.mc.skew_target);
+      w.kv("skew_mean_ps", r.mc.skew.mean);
+      w.kv("skew_stddev_ps", r.mc.skew.stddev);
+      w.kv("skew_p50_ps", r.mc.skew.p50);
+      w.kv("skew_p95_ps", r.mc.skew.p95);
+      w.kv("skew_p99_ps", r.mc.skew.p99);
+      w.kv("skew_max_ps", r.mc.skew.max);
+      w.kv("clr_mean_ps", r.mc.clr.mean);
+      w.kv("clr_p95_ps", r.mc.clr.p95);
+      w.kv("clr_p99_ps", r.mc.clr.p99);
+      w.kv("max_latency_p95_ps", r.mc.max_latency.p95);
+      w.kv("yield", r.mc.yield);
+      w.kv("legal_fraction", r.mc.legal_fraction);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 SuiteReport run_suite(const std::vector<Benchmark>& suite,
@@ -76,9 +160,23 @@ SuiteReport run_suite(const std::vector<Benchmark>& suite,
       try {
         run.result = run_contango(bench, options.flow);
         run.ok = true;
+        if (options.mc_trials > 0) {
+          // The suite already fans across benchmarks, so the MC pass runs
+          // serially inside its worker; MC reports are thread-count
+          // invariant anyway, this only avoids oversubscription.
+          McOptions mc;
+          mc.trials = options.mc_trials;
+          mc.threads = 1;
+          mc.skew_target = options.mc_skew_target;
+          mc.eval = options.flow.eval;
+          run.mc = run_montecarlo(bench, run.result.tree, options.variation, mc);
+          run.has_mc = true;
+        }
       } catch (const std::exception& e) {
+        run.ok = false;
         run.error = e.what();
       } catch (...) {
+        run.ok = false;
         run.error = "unknown exception";
       }
       run.seconds = run_timer.seconds();
@@ -92,12 +190,28 @@ SuiteReport run_suite(const std::vector<Benchmark>& suite,
   report.wall_seconds = suite_timer.seconds();
   report.process_cpu_seconds =
       static_cast<double>(std::clock() - cpu_start) / CLOCKS_PER_SEC;
+  if (!options.json_report_path.empty()) {
+    write_text_file(options.json_report_path, report.to_json() + "\n");
+  }
   return report;
 }
 
 SuiteReport run_suite_spec(const std::string& spec, std::uint64_t seed,
                            const SuiteOptions& options) {
   return run_suite(collect_workloads(spec, seed), options);
+}
+
+SuiteOptions suite_options_from_env(SuiteOptions base) {
+  base.threads = static_cast<int>(env_long("CONTANGO_THREADS", base.threads));
+  base.mc_trials = static_cast<int>(env_long("CONTANGO_MC_TRIALS", base.mc_trials));
+  const double default_sigma =
+      base.variation.sigma_vdd > 0.0 ? base.variation.sigma_vdd : 0.05;
+  base.variation.sigma_vdd = env_double("CONTANGO_MC_SIGMA_VDD", default_sigma);
+  base.variation.seed = static_cast<std::uint64_t>(
+      env_long("CONTANGO_MC_SEED", static_cast<long>(base.variation.seed)));
+  base.mc_skew_target = env_double("CONTANGO_MC_SKEW_TARGET", base.mc_skew_target);
+  base.json_report_path = env_string("CONTANGO_JSON_OUT", base.json_report_path);
+  return base;
 }
 
 }  // namespace contango

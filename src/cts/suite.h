@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/montecarlo.h"
+#include "analysis/variation.h"
 #include "cts/flow.h"
 #include "netlist/benchmark.h"
 
@@ -32,6 +34,25 @@ struct SuiteOptions {
   /// Benchmark drivers bind this to the CONTANGO_THREADS env knob.
   int threads = 0;
 
+  /// Monte-Carlo trials per benchmark after synthesis (analysis/
+  /// montecarlo.h); 0 disables the variation analysis.  Benchmark drivers
+  /// bind this to CONTANGO_MC_TRIALS.
+  int mc_trials = 0;
+
+  /// Variation magnitudes + substream seed of the per-benchmark Monte-Carlo
+  /// pass.  CONTANGO_MC_SIGMA_VDD binds sigma_vdd.
+  VariationModel variation;
+
+  /// Yield target of the Monte-Carlo pass: a trial passes when its skew is
+  /// at most this and no violation occurred.
+  Ps mc_skew_target = 10.0;
+
+  /// When non-empty, run_suite() serializes the finished report (including
+  /// per-benchmark Monte-Carlo summaries, excluding per-trial samples) as
+  /// JSON to this path via io/json.  Benchmark drivers bind this to
+  /// CONTANGO_JSON_OUT.  Write failures throw after all runs completed.
+  std::string json_report_path;
+
   /// Progress hook invoked once per finished run (completion order, which
   /// may differ from input order).  Calls are serialized by the runner, so
   /// the callback may print without its own locking.  Leave empty for none.
@@ -46,6 +67,9 @@ struct SuiteRun {
   double seconds = 0.0;  ///< wall time of this run on its worker
   bool ok = false;       ///< false when the flow threw; see `error`
   std::string error;
+
+  bool has_mc = false;  ///< true when the Monte-Carlo pass ran for this run
+  McReport mc;          ///< valid when has_mc
 };
 
 /// Deterministic, input-order-stable report of a whole suite.  `runs[i]`
@@ -62,7 +86,8 @@ struct SuiteReport {
   /// oversubscription, where per-run wall times inflate.
   double process_cpu_seconds = 0.0;
 
-  /// Aggregated evaluation count across all runs ("SPICE runs").
+  /// Aggregated evaluation count across all runs ("SPICE runs"), including
+  /// one per Monte-Carlo trial when the MC pass ran.
   long total_sim_runs() const;
 
   /// Sum of per-run wall times.  Each run's wall time includes time its
@@ -75,8 +100,15 @@ struct SuiteReport {
   bool all_ok() const;
 
   /// Renders the per-benchmark results (CLR, skew, latency, cap, sims, CPU)
-  /// as a fixed-width text table via io/table.
+  /// as a fixed-width text table via io/table.  When any run carries
+  /// Monte-Carlo results, the table grows MC columns (mean/p95/p99 skew and
+  /// yield against the skew target).
   std::string table() const;
+
+  /// Serializes the whole report as JSON (io/json): suite-level totals plus
+  /// one object per run, including the Monte-Carlo summary when present
+  /// (per-trial samples are omitted to keep suite reports compact).
+  std::string to_json() const;
 };
 
 /// \brief Runs `run_contango` over every benchmark of the suite on a pool
@@ -103,5 +135,17 @@ SuiteReport run_suite(const std::vector<Benchmark>& suite,
 /// \param options forwarded to run_suite()
 SuiteReport run_suite_spec(const std::string& spec, std::uint64_t seed,
                            const SuiteOptions& options = {});
+
+/// \brief Applies the harness env knobs (util/env.h) on top of `base`:
+///
+///   CONTANGO_THREADS         -> threads
+///   CONTANGO_MC_TRIALS       -> mc_trials (0 keeps MC off)
+///   CONTANGO_MC_SIGMA_VDD    -> variation.sigma_vdd (default 0.05)
+///   CONTANGO_MC_SEED         -> variation.seed
+///   CONTANGO_MC_SKEW_TARGET  -> mc_skew_target (ps)
+///   CONTANGO_JSON_OUT        -> json_report_path
+///
+/// Benchmark drivers call this so every binary honors the same knobs.
+SuiteOptions suite_options_from_env(SuiteOptions base = {});
 
 }  // namespace contango

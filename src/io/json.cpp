@@ -1,0 +1,133 @@
+#include "io/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace contango {
+
+void JsonWriter::comma_if_needed() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value directly follows its key, never a comma
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ += ',';
+    has_element_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  comma_if_needed();
+  out_ += '{';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  if (has_element_.empty()) throw std::logic_error("JsonWriter: unmatched end_object");
+  has_element_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  comma_if_needed();
+  out_ += '[';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  if (has_element_.empty()) throw std::logic_error("JsonWriter: unmatched end_array");
+  has_element_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(const std::string& name) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::value(double v) {
+  comma_if_needed();
+  out_ += number(v);
+}
+
+void JsonWriter::value(long v) {
+  comma_if_needed();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(unsigned long long v) {
+  comma_if_needed();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(bool v) {
+  comma_if_needed();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::value(const std::string& v) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::null_value() {
+  comma_if_needed();
+  out_ += "null";
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::number(double v) {
+  if (!std::isfinite(v)) return "null";
+  // std::to_chars is locale-independent (snprintf %g would honor
+  // LC_NUMERIC and could emit a comma decimal separator) and produces the
+  // shortest representation that parses back to the same bits.
+  char buf[40];
+  const std::to_chars_result res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("write_text_file: cannot open '" + path + "' for writing");
+  }
+  out << content;
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("write_text_file: write to '" + path + "' failed");
+  }
+}
+
+}  // namespace contango

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace contango {
+
+/// \file json.h
+/// \brief Minimal dependency-free JSON writer for machine-readable reports.
+///
+/// The experiment harness renders human tables through io/table; this is
+/// the machine-readable counterpart: suite and Monte-Carlo reports
+/// serialize through JsonWriter so CI can record a perf trajectory
+/// (CONTANGO_JSON_OUT) and downstream tooling can parse results without
+/// scraping text tables.
+///
+/// Writer, not parser: the library only ever *emits* JSON.  Output is
+/// deterministic and locale-independent — keys appear in call order,
+/// doubles print with the shortest representation that round-trips to the
+/// same bits, and NaN/Inf (not representable in JSON) emit null.
+///
+/// Usage:
+///
+///     JsonWriter w;
+///     w.begin_object();
+///     w.kv("trials", 256L);
+///     w.key("skew_ps");
+///     w.begin_object();
+///     w.kv("mean", 4.2);
+///     w.end_object();
+///     w.end_object();
+///     write_text_file("report.json", w.str());
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object key; must be followed by exactly one value or container.
+  void key(const std::string& name);
+
+  void value(double v);
+  void value(long v);
+  void value(int v) { value(static_cast<long>(v)); }
+  void value(unsigned long long v);
+  void value(bool v);
+  void value(const std::string& v);
+  void value(const char* v) { value(std::string(v)); }
+  void null_value();
+
+  /// key() + value() in one call.
+  template <typename T>
+  void kv(const std::string& name, T v) {
+    key(name);
+    value(v);
+  }
+
+  /// The document built so far.  Complete (all containers closed) once
+  /// every begin_* has its matching end_*.
+  const std::string& str() const { return out_; }
+
+  /// JSON string escaping (quotes, backslash, control characters).
+  static std::string escape(const std::string& s);
+
+  /// Shortest decimal representation of `v` that parses back to the same
+  /// bits (std::to_chars, locale-independent).  NaN/Inf render as "null".
+  static std::string number(double v);
+
+ private:
+  void comma_if_needed();
+
+  std::string out_;
+  /// One entry per open container: whether it already holds an element.
+  std::vector<bool> has_element_;
+  bool after_key_ = false;
+};
+
+/// Writes `content` to `path`, replacing the file.  Throws
+/// std::runtime_error naming the path when the file cannot be written.
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace contango

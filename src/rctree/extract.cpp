@@ -21,6 +21,7 @@ StagedNetlist extract_stages(const ClockTree& tree, const Benchmark& bench,
   {
     Stage s;
     s.driver = tree.root();
+    s.driver_res_nom = bench.source_res;
     s.nodes.push_back(RcNode{0.0, -1, 0.0});
     net.stages.push_back(std::move(s));
     where[tree.root()] = Location{0, 0};
@@ -55,19 +56,23 @@ StagedNetlist extract_stages(const ClockTree& tree, const Benchmark& bench,
 
     switch (n.kind) {
       case NodeKind::kSink: {
-        stage.nodes[static_cast<std::size_t>(end_rc)].cap +=
-            bench.sinks.at(static_cast<std::size_t>(n.sink_index)).cap;
-        stage.taps.push_back(Tap{id, end_rc, true, n.sink_index});
+        const Ff pin = bench.sinks.at(static_cast<std::size_t>(n.sink_index)).cap;
+        stage.nodes[static_cast<std::size_t>(end_rc)].cap += pin;
+        stage.taps.push_back(Tap{id, end_rc, true, n.sink_index, pin});
         where[id] = Location{up.stage, end_rc};
         break;
       }
       case NodeKind::kBuffer: {
         const CompositeElectrical e = bench.tech.electrical(n.buffer);
         stage.nodes[static_cast<std::size_t>(end_rc)].cap += e.input_cap;
-        stage.taps.push_back(Tap{id, end_rc, false, -1});
+        stage.taps.push_back(Tap{id, end_rc, false, -1, e.input_cap});
         // Open a new stage rooted at this buffer's output.
         Stage next;
         next.driver = id;
+        next.driver_pin_cap = e.output_cap;
+        next.driver_inverts = true;
+        next.driver_res_nom = e.output_res;
+        next.driver_intrinsic_nom = e.intrinsic_delay;
         next.nodes.push_back(RcNode{e.output_cap, -1, 0.0});
         const int next_index = static_cast<int>(net.stages.size());
         net.stages.push_back(std::move(next));

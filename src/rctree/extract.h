@@ -23,6 +23,10 @@ struct Tap {
   int rc_index = 0;
   bool is_sink = false;
   int sink_index = -1;  ///< valid when is_sink
+  /// Pin capacitance folded into nodes[rc_index].cap (sink pin cap or
+  /// downstream buffer input cap).  The Monte-Carlo variation engine uses
+  /// this to scale wire and pin capacitance independently.
+  Ff pin_cap = 0.0;
 };
 
 /// A buffered clock tree splits into stages at every buffer: each stage is
@@ -34,6 +38,18 @@ struct Stage {
   std::vector<RcNode> nodes;
   std::vector<Tap> taps;
   std::vector<int> downstream_stages;  ///< stage indices driven from this one
+  /// Driver pin capacitance folded into nodes[0].cap (the composite
+  /// buffer's output cap; 0 for the clock-source stage).  Kept separate so
+  /// wire-capacitance scaling leaves pin caps alone.
+  Ff driver_pin_cap = 0.0;
+
+  /// Nominal electrical view of the stage driver, resolved at extraction
+  /// time so analysis never needs the ClockTree: the clock source's series
+  /// resistance, or the composite buffer's output resistance + intrinsic
+  /// delay.  Inverting drivers flip the transition direction.
+  bool driver_inverts = false;
+  KOhm driver_res_nom = 0.0;
+  Ps driver_intrinsic_nom = 0.0;
 
   Ff total_cap() const {
     Ff c = 0.0;

@@ -135,6 +135,34 @@ TEST(CollectWorkloads, MalformedSinkCountSuffixIsAnErrorNotOneSink) {
   // parser must treat a partially-numeric suffix as an unknown element.
   EXPECT_THROW(collect_workloads("ring:1e3", 1), std::invalid_argument);
   EXPECT_THROW(collect_workloads("ring:64k", 1), std::invalid_argument);
+  EXPECT_THROW(collect_workloads("ring:-5", 1), std::invalid_argument);
+}
+
+TEST(CollectWorkloads, MalformedOverrideErrorNamesTheSpecToken) {
+  // When the prefix is a real family, the message must call out the bad
+  // override itself — not claim the whole element is an unknown family.
+  try {
+    collect_workloads("uniform,ring:1e3", 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ring:1e3"), std::string::npos) << what;
+    EXPECT_NE(what.find("malformed sink-count override"), std::string::npos) << what;
+    EXPECT_NE(what.find("'1e3'"), std::string::npos) << what;
+  }
+}
+
+TEST(CollectWorkloads, EmptyDirectoryIsAnErrorNamingTheToken) {
+  const std::string dir = ::testing::TempDir() + "contango_empty_dir";
+  std::filesystem::create_directories(dir);
+  try {
+    collect_workloads("ring," + dir, 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(dir), std::string::npos) << what;
+    EXPECT_NE(what.find("no .bench files"), std::string::npos) << what;
+  }
 }
 
 TEST(CollectWorkloads, UnknownElementThrows) {

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <vector>
 
 #include "cts/suite.h"
@@ -116,6 +119,83 @@ TEST(Suite, FourThreadsMatchSerialBitForBit) {
   EXPECT_EQ(serial.total_sim_runs(), parallel.total_sim_runs());
   EXPECT_FALSE(parallel.table().empty());
   EXPECT_GT(parallel.cpu_seconds(), 0.0);
+}
+
+TEST(Suite, MonteCarloPassAddsColumnsAndStaysDeterministic) {
+  std::vector<Benchmark> suite;
+  for (int n : {60, 90}) suite.push_back(generate_ti_like(n));
+
+  SuiteOptions options;
+  options.threads = 1;
+  options.mc_trials = 8;
+  options.variation.sigma_vdd = 0.05;
+  options.variation.seed = 11;
+
+  const SuiteReport serial = run_suite(suite, options);
+  options.threads = 4;
+  const SuiteReport parallel = run_suite(suite, options);
+
+  ASSERT_EQ(serial.runs.size(), 2u);
+  for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+    const SuiteRun& s = serial.runs[i];
+    const SuiteRun& p = parallel.runs[i];
+    ASSERT_TRUE(s.ok) << s.error;
+    ASSERT_TRUE(s.has_mc);
+    ASSERT_TRUE(p.has_mc);
+    EXPECT_EQ(s.mc.trials, 8);
+    // The MC pass inherits the runner's determinism: suite thread count
+    // must not move a single bit of the variation statistics.
+    EXPECT_EQ(s.mc.skew.mean, p.mc.skew.mean);
+    EXPECT_EQ(s.mc.skew.p99, p.mc.skew.p99);
+    EXPECT_EQ(s.mc.clr.p95, p.mc.clr.p95);
+    EXPECT_EQ(s.mc.yield, p.mc.yield);
+  }
+  // MC trials are CNE passes and count toward the suite's sim total.
+  long flow_sims = 0;
+  for (const SuiteRun& r : serial.runs) flow_sims += r.result.sim_runs;
+  EXPECT_EQ(serial.total_sim_runs(), flow_sims + 2 * 8);
+
+  // The text table grows the MC columns only when MC ran.
+  EXPECT_NE(serial.table().find("Yield%"), std::string::npos);
+  EXPECT_NE(serial.table().find("MC p95"), std::string::npos);
+  const SuiteReport plain = run_suite({suite[0]});
+  EXPECT_EQ(plain.table().find("Yield%"), std::string::npos);
+}
+
+TEST(Suite, WritesJsonReportToRequestedPath) {
+  const std::string path = ::testing::TempDir() + "contango_suite_report.json";
+  std::vector<Benchmark> suite{generate_ti_like(60)};
+
+  SuiteOptions options;
+  options.threads = 1;
+  options.mc_trials = 4;
+  options.json_report_path = path;
+  const SuiteReport report = run_suite(suite, options);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "report not written to " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_EQ(json, report.to_json() + "\n");
+  EXPECT_NE(json.find("\"type\":\"contango_suite_report\""), std::string::npos);
+  EXPECT_NE(json.find("\"benchmark\":"), std::string::npos);
+  EXPECT_NE(json.find("\"mc\":"), std::string::npos);
+  EXPECT_EQ(json.find("\"samples\""), std::string::npos);  // summaries only
+
+  // Balanced containers: the writer closed everything it opened.
+  long depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  std::remove(path.c_str());
+
+  // An unwritable path fails loudly, not silently.
+  options.json_report_path = "/nonexistent_dir_xyz/report.json";
+  EXPECT_THROW(run_suite(suite, options), std::runtime_error);
 }
 
 }  // namespace
