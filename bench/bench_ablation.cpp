@@ -26,28 +26,26 @@ int main() {
   const Benchmark bench = generate_ispd_like(ispd09_suite_params(index));
   std::printf("== Ablation studies on %s ==\n\n", bench.name.c_str());
 
-  // ---- Stage ablation. ----
+  // ---- Stage ablation, driven by pipeline specs (cts/pipeline.h). ----
   struct Variant {
     const char* name;
-    bool tbsz, twsz, twsn, bwsn;
+    const char* spec;
   };
   const Variant variants[] = {
-      {"full flow", true, true, true, true},
-      {"no TBSZ", false, true, true, true},
-      {"no TWSZ", true, false, true, true},
-      {"no TWSN", true, true, false, true},
-      {"no BWSN", true, true, true, false},
-      {"construction only", false, false, false, false},
+      {"full flow", "dme,repair,insert,polarity,tbsz,twsz,twsn,bwsn"},
+      {"no TBSZ", "dme,repair,insert,polarity,twsz,twsn,bwsn"},
+      {"no TWSZ", "dme,repair,insert,polarity,tbsz,twsn,bwsn"},
+      {"no TWSN", "dme,repair,insert,polarity,tbsz,twsz,bwsn"},
+      {"no BWSN", "dme,repair,insert,polarity,tbsz,twsz,twsn"},
+      {"construction only", "dme,repair,insert,polarity"},
   };
-  TextTable stage_table({"Variant", "Skew, ps", "CLR, ps", "Cap, fF", "Sims"});
+  TextTable stage_table({"Variant", "Pipeline", "Skew, ps", "CLR, ps",
+                         "Cap, fF", "Sims"});
   for (const Variant& v : variants) {
     FlowOptions options;
-    options.enable_tbsz = v.tbsz;
-    options.enable_twsz = v.twsz;
-    options.enable_twsn = v.twsn;
-    options.enable_bwsn = v.bwsn;
+    options.pipeline = v.spec;
     const FlowResult r = run_contango(bench, options);
-    stage_table.add_row({v.name, TextTable::num(r.eval.nominal_skew, 3),
+    stage_table.add_row({v.name, v.spec, TextTable::num(r.eval.nominal_skew, 3),
                          TextTable::num(r.eval.clr, 2),
                          TextTable::num(r.eval.total_cap, 0),
                          std::to_string(r.sim_runs)});
@@ -76,11 +74,9 @@ int main() {
   }
   std::printf("-- insertion strategy (before any optimization) --\n");
   {
-    // Flow's inserter, reproduced from run_contango's front-end.
-    const FlowOptions options;
-    FlowOptions only_insertion = options;
-    only_insertion.enable_tbsz = only_insertion.enable_twsz = false;
-    only_insertion.enable_twsn = only_insertion.enable_bwsn = false;
+    // Flow's inserter: the construction-only pipeline prefix.
+    FlowOptions only_insertion;
+    only_insertion.pipeline = "dme,repair,insert,polarity";
     const FlowResult r = run_contango(bench, only_insertion);
     ins_table.add_row({"van Ginneken + equalize", TextTable::num(r.eval.nominal_skew, 2),
                        TextTable::num(r.eval.clr, 2),

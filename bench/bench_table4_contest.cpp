@@ -54,10 +54,16 @@ int main() {
   std::printf("(CLR in ps; Cap in %% of the benchmark limit; CPU in s)\n\n");
 
   const long limit = env_long("CONTANGO_TABLE4_BENCHMARKS", 7);
-  // CONTANGO_THREADS, CONTANGO_MC_TRIALS/CONTANGO_MC_SIGMA_VDD (optional
-  // per-benchmark Monte-Carlo pass) and CONTANGO_JSON_OUT (machine-readable
-  // report for CI perf tracking).
-  const SuiteOptions options = suite_options_from_env();
+  // CONTANGO_THREADS, CONTANGO_PIPELINE, CONTANGO_MC_TRIALS/
+  // CONTANGO_MC_SIGMA_VDD (optional per-benchmark Monte-Carlo pass) and
+  // CONTANGO_JSON_OUT (machine-readable report for CI perf tracking).
+  SuiteOptions options;
+  try {
+    options = suite_options_from_env();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad environment: %s\n", e.what());
+    return 1;
+  }
   const int threads = options.threads;
 
   std::vector<Benchmark> suite;

@@ -68,9 +68,15 @@ int main() {
     return 0;
   }
 
-  // CONTANGO_THREADS, the optional CONTANGO_MC_* Monte-Carlo pass, and
-  // CONTANGO_JSON_OUT for the machine-readable report.
-  SuiteOptions options = suite_options_from_env();
+  // CONTANGO_THREADS, CONTANGO_PIPELINE, the optional CONTANGO_MC_*
+  // Monte-Carlo pass, and CONTANGO_JSON_OUT for the machine-readable report.
+  SuiteOptions options;
+  try {
+    options = suite_options_from_env();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad environment: %s\n", e.what());
+    return 1;
+  }
   options.on_run_done = [](const SuiteRun& run) {  // progress per finished run
     std::printf("  done %-8s %6.1f s%s\n", run.benchmark.c_str(), run.seconds,
                 run.ok ? "" : " (FAILED)");

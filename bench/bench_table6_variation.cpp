@@ -39,7 +39,12 @@ int main() {
 
   SuiteOptions options;
   options.mc_trials = 64;  // before env so CONTANGO_MC_TRIALS overrides
-  options = suite_options_from_env(options);
+  try {
+    options = suite_options_from_env(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad environment: %s\n", e.what());
+    return 1;
+  }
   if (options.mc_trials <= 0) {
     std::fprintf(stderr, "CONTANGO_MC_TRIALS must be positive for this bench\n");
     return 1;

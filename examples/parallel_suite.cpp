@@ -11,8 +11,10 @@
 #include <cstdlib>
 #include <vector>
 
+#include "cts/pipeline.h"
 #include "cts/suite.h"
 #include "netlist/generators.h"
+#include "util/env.h"
 #include "util/parallel.h"
 
 using namespace contango;
@@ -27,12 +29,19 @@ int main(int argc, char** argv) {
   for (int i = 0; i < count && i < 7; ++i) {
     suite.push_back(generate_ispd_like(ispd09_suite_params(order[static_cast<std::size_t>(i)])));
   }
-  std::printf("suite: %zu benchmarks, %d worker threads\n\n", suite.size(),
-              threads);
-
   // 1. Parallel run.
   SuiteOptions options;
   options.threads = threads;
+  options.flow.pipeline = env_string("CONTANGO_PIPELINE", "");
+  try {
+    Pipeline::from_options(options.flow);  // reject bad specs up front
+  } catch (const PipelineError& e) {
+    std::fprintf(stderr, "CONTANGO_PIPELINE: %s\n", e.what());
+    return 1;
+  }
+  std::printf("suite: %zu benchmarks, %d worker threads\npipeline: %s\n\n",
+              suite.size(), threads,
+              resolved_pipeline_spec(options.flow).c_str());
   const SuiteReport parallel = run_suite(suite, options);
   std::printf("%s\n", parallel.table().c_str());
   std::printf("parallel: %.1f s wall, %.1f s CPU\n\n", parallel.wall_seconds,

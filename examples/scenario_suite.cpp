@@ -19,8 +19,10 @@
 #include <string>
 #include <vector>
 
+#include "cts/pipeline.h"
 #include "cts/scenario.h"
 #include "cts/suite.h"
+#include "util/env.h"
 
 using namespace contango;
 
@@ -50,6 +52,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  SuiteOptions options;
+  options.threads = threads;
+  options.flow.pipeline = env_string("CONTANGO_PIPELINE", "");
+  try {
+    Pipeline::from_options(options.flow);  // reject bad specs up front
+  } catch (const PipelineError& e) {
+    std::fprintf(stderr, "CONTANGO_PIPELINE: %s\n", e.what());
+    return 1;
+  }
+  std::printf("pipeline: %s\n",
+              resolved_pipeline_spec(options.flow).c_str());
   std::printf("workloads from '%s' (seed %llu):\n", spec.c_str(),
               static_cast<unsigned long long>(seed));
   for (const Benchmark& b : suite) {
@@ -59,8 +72,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
-  SuiteOptions options;
-  options.threads = threads;
   options.on_run_done = [](const SuiteRun& run) {
     std::printf("  done %-22s %6.1f s%s\n", run.benchmark.c_str(), run.seconds,
                 run.ok ? "" : " (FAILED)");

@@ -1,225 +1,15 @@
 #include "cts/flow.h"
 
-#include <algorithm>
-#include <limits>
-
-#include "cts/bottomlevel.h"
-#include "cts/buflib.h"
-#include "cts/balanced_insertion.h"
-#include "cts/bufferopt.h"
-#include "cts/dme.h"
-#include "cts/rebalance.h"
-#include "cts/slack.h"
-#include "cts/wiresizing.h"
-#include "cts/wiresnaking.h"
-#include "util/log.h"
-#include "util/timer.h"
+#include "cts/pipeline.h"
 
 namespace contango {
-namespace {
 
-/// Smallest-input-cap library cell, used for polarity-correcting inverters.
-CompositeBuffer smallest_inverter(const Technology& tech) {
-  int best = 0;
-  for (int i = 1; i < static_cast<int>(tech.inverters.size()); ++i) {
-    if (tech.inverters[static_cast<std::size_t>(i)].input_cap <
-        tech.inverters[static_cast<std::size_t>(best)].input_cap) {
-      best = i;
-    }
-  }
-  return CompositeBuffer{best, 1};
-}
-
-/// Violation side of the IVC check: a candidate passes when it is clean, or
-/// at least no worse than the incumbent on each violated axis (an already-
-/// violating network must still be allowed to improve).
-bool violation_ok(const EvalResult& r, const EvalResult& incumbent) {
-  const bool slew_ok = !r.slew_violation || r.worst_slew <= incumbent.worst_slew + 1e-6;
-  const bool cap_ok = !r.cap_violation || r.total_cap <= incumbent.total_cap + 1e-6;
-  return slew_ok && cap_ok;
-}
-
-}  // namespace
-
+// The monolithic Fig. 1 sequence that used to live here is now eight
+// registry-driven passes (cts/pass.cpp) executed by the pipeline engine
+// (cts/pipeline.cpp); the default pipeline reproduces it bit-identically,
+// with the stage switches mapping to omitted passes.
 FlowResult run_contango(const Benchmark& bench, const FlowOptions& options) {
-  Timer timer;
-  FlowResult result;
-  Evaluator eval(bench, options.eval);
-
-  auto snapshot = [&](const std::string& name, const EvalResult& r) {
-    result.stages.push_back(StageSnapshot{name, r.nominal_skew, r.clr,
-                                          r.max_latency, r.total_cap,
-                                          eval.sim_runs(), timer.seconds()});
-    Log::info("contango[%s] %s: skew %.3f ps, CLR %.3f ps, cap %.1f fF, %d sims",
-              bench.name.c_str(), name.c_str(), r.nominal_skew, r.clr,
-              r.total_cap, eval.sim_runs());
-  };
-
-  // ---- Initial tree: ZST/DME, then obstacle legalization. ----
-  const CompositeBuffer unit = best_unit_composite(bench.tech);
-  ClockTree tree = build_zst(bench);
-
-  ObstacleRepairOptions repair_options;
-  repair_options.slew_free_cap =
-      slew_free_cap(bench.tech, unit, options.insertion.slew_margin);
-  result.obstacles = repair_obstacles(tree, bench, repair_options);
-
-  // Detours unbalance the tree; restore electrical-length balance before
-  // any buffers go in (analytic, no simulation; buffered path delay tracks
-  // electrical length).
-  rebalance_pathlength(tree);
-
-  // ---- Composite selection + fast buffer insertion (section IV-C). ----
-  // Try successively stronger composites; keep the strongest whose total
-  // capacitance stays within (1 - gamma) of the budget and whose
-  // evaluation is slew-clean.
-  std::vector<Ff> sink_caps;
-  for (const Sink& s : bench.sinks) sink_caps.push_back(s.cap);
-  const Ff cap_budget = bench.tech.cap_limit > 0.0
-                            ? (1.0 - options.power_reserve) * bench.tech.cap_limit
-                            : std::numeric_limits<double>::max();
-
-  ClockTree buffered;
-  bool have_candidate = false;
-  for (int k = 1; k <= options.max_ladder; ++k) {
-    const CompositeBuffer composite{unit.inverter_type, unit.count * k};
-    ClockTree candidate = tree;
-    insert_buffers(candidate, bench, composite, options.insertion);
-    // Van Ginneken spares buffers on fast paths; topping those paths up to
-    // the common depth slows exactly the fast sinks and keeps per-path
-    // supply sensitivity uniform.
-    equalize_stage_counts(candidate, bench, composite);
-    const Ff cap = candidate.total_cap(bench.tech, sink_caps);
-    if (have_candidate && cap > cap_budget) break;  // stronger only costs more
-    const EvalResult r = eval.evaluate(candidate);
-    const bool fits = cap <= cap_budget && !r.slew_violation;
-    if (!have_candidate || fits) {
-      buffered = std::move(candidate);
-      result.buffer = composite;
-      have_candidate = true;
-    }
-    if (cap > cap_budget) break;
-  }
-  tree = std::move(buffered);
-
-  // ---- Sink polarity correction (section IV-D). ----
-  result.polarity = correct_polarity(tree, bench, smallest_inverter(bench.tech));
-
-  // ---- INITIAL snapshot. ----
-  EvalResult current = eval.evaluate(tree);
-  snapshot("INITIAL", current);
-
-  // ---- TBSZ: trunk sliding/interleaving + iterative buffer sizing
-  //      (sections IV-H, IV-I; CLR objective). ----
-  if (options.enable_tbsz) {
-    const Ff unit_slew_cap = repair_options.slew_free_cap;
-    const Um max_spacing =
-        0.8 * unit_slew_cap / bench.tech.wires.back().c_per_um;
-
-    {
-      ClockTree candidate = tree;
-      slide_and_interleave_trunk(candidate, bench, result.buffer, max_spacing);
-      const EvalResult r = eval.evaluate(candidate);
-      if (r.clr < current.clr && violation_ok(r, current)) {
-        tree = std::move(candidate);
-        current = r;
-      }
-    }
-    for (int i = 1; i <= options.max_buffer_sizing_iters; ++i) {
-      const double fraction = 1.0 / (i + 3);
-      ClockTree candidate = tree;
-      if (upsize_trunk_buffers(candidate, fraction) == 0) break;
-      const EvalResult r = eval.evaluate(candidate);
-      if (r.clr < current.clr && violation_ok(r, current)) {
-        tree = std::move(candidate);
-        current = r;
-      } else {
-        break;  // IVC fail: rollback and stop sizing
-      }
-    }
-    {
-      // Branch sizing pays for itself by borrowing bottom-level cap.
-      ClockTree candidate = tree;
-      upsize_branch_buffers(candidate, options.branch_levels, 0.25);
-      downsize_bottom_buffers(candidate, 1);
-      const EvalResult r = eval.evaluate(candidate);
-      if (r.clr < current.clr && violation_ok(r, current)) {
-        tree = std::move(candidate);
-        current = r;
-      }
-    }
-    snapshot("TBSZ", current);
-  }
-
-  // Generic SPICE-driven refinement loop with IVC gating: a rejected round
-  // rolls back (SaveSolution semantics) and retries with a smaller step;
-  // the phase ends after repeated rejections or when a round has nothing
-  // left to edit.
-  auto refine = [&](int max_rounds, auto&& round_fn) {
-    double scale = 1.0;
-    int rejects = 0;
-    for (int round = 0; round < max_rounds && rejects < 5; ++round) {
-      const EdgeSlacks slacks = compute_edge_slacks(tree, current);
-      ClockTree candidate = tree;  // SaveSolution
-      if (round_fn(candidate, slacks, scale) == 0) break;
-      const EvalResult r = eval.evaluate(candidate);
-      if (r.nominal_skew < current.nominal_skew && violation_ok(r, current)) {
-        tree = std::move(candidate);
-        current = r;
-        rejects = 0;
-      } else {
-        ++rejects;       // keep the saved solution,
-        scale *= 0.4;    // take a smaller bite next time
-      }
-    }
-  };
-
-  // ---- TWSZ: iterative top-down wiresizing (section IV-E). ----
-  if (options.enable_twsz) {
-    WireSizingParams params;
-    params.tws_per_um = calibrate_tws(tree, eval, current);
-    const double base_safety = params.safety;
-    refine(options.max_sizing_rounds,
-           [&](ClockTree& candidate, const EdgeSlacks& slacks, double scale) {
-             params.safety = base_safety * scale;
-             return wiresizing_round(candidate, slacks, params);
-           });
-    snapshot("TWSZ", current);
-  }
-
-  // ---- TWSN: iterative top-down wiresnaking (section IV-F). ----
-  if (options.enable_twsn) {
-    WireSnakingParams params;
-    params.unit = options.snake_unit;
-    params.twn_per_unit = calibrate_twn(tree, eval, current, params.unit);
-    const double base_safety = params.safety;
-    refine(options.max_snaking_rounds,
-           [&](ClockTree& candidate, const EdgeSlacks& slacks, double scale) {
-             params.safety = base_safety * scale;
-             return wiresnaking_round(candidate, slacks, params);
-           });
-    snapshot("TWSN", current);
-  }
-
-  // ---- BWSN: bottom-level fine-tuning (section IV-G). ----
-  if (options.enable_bwsn) {
-    BottomLevelParams params;
-    params.unit = options.bottom_unit;
-    params.twn_per_unit = calibrate_bottom_twn(tree, eval, current, params.unit);
-    const double base_safety = params.safety;
-    refine(options.max_bottom_rounds,
-           [&](ClockTree& candidate, const EdgeSlacks& slacks, double scale) {
-             params.safety = base_safety * scale;
-             return bottom_level_round(candidate, slacks, params);
-           });
-    snapshot("BWSN", current);
-  }
-
-  result.tree = std::move(tree);
-  result.eval = std::move(current);
-  result.sim_runs = eval.sim_runs();
-  result.seconds = timer.seconds();
-  return result;
+  return Pipeline::from_options(options).run(bench, options);
 }
 
 }  // namespace contango

@@ -33,22 +33,42 @@ struct FlowOptions {
   Um snake_unit = 20.0;   ///< l_wn for top-down snaking
   Um bottom_unit = 5.0;   ///< l_wn for bottom-level fine-tuning
 
-  /// Stage switches (for ablation studies).
+  /// Stage switches (for ablation studies).  Legacy toggles: disabling a
+  /// stage here is exactly equivalent to omitting its pass from `pipeline`,
+  /// and they are ignored when `pipeline` is set.
   bool enable_tbsz = true;
   bool enable_twsz = true;
   bool enable_twsn = true;
   bool enable_bwsn = true;
+
+  /// Pass-pipeline spec (cts/pipeline.h): comma-separated pass names with
+  /// optional `pass:key=value` overrides, e.g.
+  /// `"dme,repair,insert,polarity,twsz,twsn"`.  Empty runs the default
+  /// sequence implied by the stage switches above.  Suite drivers bind this
+  /// to the CONTANGO_PIPELINE env knob.
+  std::string pipeline;
 };
 
 /// Metrics recorded after each optimization stage (paper Table III rows).
+/// Names are unique within one flow: a pass that repeats in a pipeline
+/// snapshots as "TWSZ", "TWSZ#2", ... (FlowContext::unique_stage_name).
 struct StageSnapshot {
-  std::string name;  ///< INITIAL, TBSZ, TWSZ, TWSN, BWSN
+  std::string name;  ///< INITIAL, TBSZ, TWSZ, TWSN, BWSN, TWSZ#2, ...
   Ps skew = 0.0;
   Ps clr = 0.0;
   Ps max_latency = 0.0;
   Ff cap = 0.0;
   int sim_runs = 0;  ///< cumulative evaluation count at snapshot time
   double seconds = 0.0;
+};
+
+/// Cost accounting of one executed pass (cts/pipeline.h): where the flow's
+/// wall time, CPU time and simulation budget actually went.
+struct PassTiming {
+  std::string name;  ///< unique stage name, e.g. "INSERT", "TWSZ", "TWSZ#2"
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;  ///< thread CPU time of the pass
+  int sim_runs = 0;          ///< evaluations this pass spent
 };
 
 /// Full result of one Contango run.
@@ -62,6 +82,14 @@ struct FlowResult {
   int sim_runs = 0;
   double seconds = 0.0;
 
+  /// The spec the flow actually ran (resolved_pipeline_spec of the options).
+  std::string pipeline_spec;
+  /// Per-pass wall/CPU time and simulation counts, in execution order.
+  std::vector<PassTiming> pass_timings;
+
+  /// Looks a stage snapshot up by name; nullptr when the stage did not run.
+  /// Snapshot names are unique even when a pass repeats in the pipeline
+  /// ("TWSZ", "TWSZ#2"), so the first match is the only match.
   const StageSnapshot* stage(const std::string& name) const {
     for (const StageSnapshot& s : stages) {
       if (s.name == name) return &s;
@@ -80,6 +108,11 @@ struct FlowResult {
 /// Improvement- & Violation-Checking: a step that fails to improve its
 /// objective or violates slew/capacitance is rolled back and the flow
 /// moves on.
+///
+/// This is a thin wrapper over the pass pipeline (cts/pipeline.h): it runs
+/// `Pipeline::from_options(options)` — `options.pipeline` when set, else
+/// the default sequence implied by the stage switches — and produces
+/// bit-identical results to the historical monolithic flow.
 FlowResult run_contango(const Benchmark& bench, const FlowOptions& options = {});
 
 }  // namespace contango

@@ -1,0 +1,184 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "analysis/evaluate.h"
+#include "cts/flow.h"
+#include "cts/slack.h"
+#include "netlist/benchmark.h"
+#include "rctree/clocktree.h"
+#include "util/timer.h"
+
+namespace contango {
+
+/// \file pass.h
+/// \brief First-class optimization passes of the Contango flow.
+///
+/// The paper's Fig. 1 methodology is a *sequence of independently gated
+/// optimizations*; this header makes each of them a value: a Pass reads and
+/// mutates a FlowContext, and a Pipeline (cts/pipeline.h) strings passes
+/// together from a textual spec such as
+/// `"dme,repair,insert,polarity,tbsz,twsz,twsn,bwsn"`.  `run_contango()`
+/// (cts/flow.h) is a thin wrapper over the default pipeline and produces
+/// bit-identical results to the pre-pipeline monolithic flow.
+///
+/// The paper's Improvement- & Violation-Checking (IVC) gate lives here as
+/// pipeline infrastructure instead of being re-implemented per stage:
+/// passes propose candidate trees through FlowContext::try_accept(), which
+/// evaluates the candidate (one "SPICE run"), accepts it only when the
+/// pass's objective improves without worsening violations, and rolls it
+/// back otherwise.  The Pipeline additionally wraps every optimization pass
+/// in a whole-pass rollback (a pass that somehow leaves the flow worse than
+/// it found it is undone uniformly).
+
+/// What an optimization pass tries to improve; the IVC gate compares
+/// candidates against the incumbent on this axis.  kNone marks construction
+/// passes (DME, repair, insertion, polarity), which build the network
+/// rather than refine it and are not IVC-gated.
+enum class PassObjective { kNone, kSkew, kClr };
+
+/// \brief Shared state of one flow execution, threaded through every pass.
+///
+/// Owns the evolving ClockTree, the Evaluator (the flow's simulation-run
+/// budget), the options, and the FlowResult being accumulated (stage
+/// snapshots, per-pass timings, construction reports).  Passes communicate
+/// exclusively through this context — the selected composite buffer, the
+/// unit slew budget and the current evaluation all live here, so any pass
+/// ordering the registry can express is well-defined.
+class FlowContext {
+ public:
+  FlowContext(const Benchmark& bench, const FlowOptions& options);
+
+  const Benchmark& bench;
+  const FlowOptions options;
+  Evaluator eval;
+
+  /// The evolving clock tree.  Construction passes replace or extend it
+  /// directly; optimization passes go through try_accept().
+  ClockTree tree;
+
+  /// Latest accepted evaluation of `tree`; valid once has_current() (the
+  /// INITIAL snapshot establishes it).
+  const EvalResult& current() const { return current_; }
+  bool has_current() const { return has_current_; }
+
+  /// Accumulated result: stage snapshots, pass timings, obstacle/polarity
+  /// reports, the selected composite.  The Pipeline finalizes it (tree,
+  /// eval, totals) after the last pass.
+  FlowResult result;
+
+  /// Wall clock of the whole flow; StageSnapshot::seconds is read from it.
+  const Timer& timer() const { return timer_; }
+
+  /// The flow's repeater unit: the cheapest composite at least as strong as
+  /// the strongest single library cell (cts/buflib.h).
+  const CompositeBuffer& unit() const { return unit_; }
+
+  /// Load the unit composite drives slew-cleanly under the insertion safety
+  /// margin; the repair and TBSZ passes both budget against it.
+  Ff unit_slew_cap() const { return unit_slew_cap_; }
+
+  /// \brief Throws PipelineError when the tree is still empty, naming
+  /// `who`.
+  ///
+  /// Every pass that consumes an existing tree (and the evaluation
+  /// bootstrap) calls this, so a spec that skips the tree-building passes
+  /// — e.g. CONTANGO_PIPELINE=twsz — fails with a clear message instead
+  /// of crashing on the empty tree.
+  void require_tree(const char* who) const;
+
+  /// Evaluates the tree and records the "INITIAL" snapshot if no evaluation
+  /// has been accepted yet.  The Pipeline calls this before the first
+  /// optimization pass and again after the last pass, so construction-only
+  /// pipelines still finish with a valid evaluation.
+  /// \throws PipelineError when no pass has built a tree yet
+  void ensure_initial();
+
+  /// Records a StageSnapshot of the current evaluation under `name`
+  /// (a Table III row) and logs it.
+  void snapshot(const std::string& name);
+
+  /// Returns `base` the first time it is requested, then "base#2",
+  /// "base#3", ... — snapshot and timing names stay unique even when a
+  /// pipeline repeats a pass.
+  std::string unique_stage_name(const std::string& base);
+
+  /// Violation half of the IVC check: a candidate passes when it is clean,
+  /// or at least no worse than the incumbent on each violated axis (an
+  /// already-violating network must still be allowed to improve).
+  bool violation_ok(const EvalResult& candidate) const;
+
+  /// \brief The central Improvement- & Violation-Checking gate.
+  ///
+  /// Evaluates `candidate` (one simulation run) and accepts it — moving it
+  /// into `tree` and updating current() — only when `objective` strictly
+  /// improves and violation_ok() holds.  Returns whether the candidate was
+  /// accepted; a rejected candidate is discarded (SaveSolution semantics:
+  /// the incumbent tree was never touched).
+  /// \pre objective is kSkew or kClr and has_current()
+  bool try_accept(ClockTree&& candidate, PassObjective objective);
+
+  /// Restores a previously read current() evaluation — the Pipeline's
+  /// whole-pass rollback uses this together with a saved tree copy.  No
+  /// simulation runs.
+  void restore_current(const EvalResult& saved) { current_ = saved; }
+
+  /// One round of an IVC-gated refinement loop: `round_fn(candidate,
+  /// slacks, scale)` edits a copy of the tree using the current edge slacks
+  /// and returns the number of edits (0 = nothing left to do).  Rounds that
+  /// fail the gate roll back and retry with `scale` shrunk by 0.4; the loop
+  /// ends after `max_rounds` rounds, five consecutive rejections, or an
+  /// empty round.  Shared by the TWSZ/TWSN/BWSN passes.
+  void refine(int max_rounds, PassObjective objective,
+              const std::function<int(ClockTree&, const EdgeSlacks&, double)>&
+                  round_fn);
+
+ private:
+  EvalResult current_;
+  bool has_current_ = false;
+  Timer timer_;
+  CompositeBuffer unit_{0, 1};
+  Ff unit_slew_cap_ = 0.0;
+  std::map<std::string, int> stage_name_counts_;
+};
+
+/// \brief One composable stage of the flow.
+///
+/// Implementations are small adapters over the algorithm modules
+/// (cts/dme.h, cts/wiresizing.h, ...): they read their defaults from
+/// FlowContext::options, apply any per-instance `pass:key=value` overrides
+/// from the pipeline spec, and propose changes through the context.
+/// Register new passes with PassRegistry (cts/pipeline.h).
+class Pass {
+ public:
+  virtual ~Pass();
+
+  /// Registry key and spec token, e.g. "twsz".
+  virtual const char* name() const = 0;
+
+  /// Snapshot/report name, e.g. "TWSZ" (the paper's Table III row labels).
+  virtual const char* display_name() const = 0;
+
+  /// kNone = construction pass; kSkew/kClr = optimization pass whose
+  /// snapshots and whole-pass IVC rollback the Pipeline manages.
+  virtual PassObjective objective() const { return PassObjective::kNone; }
+
+  /// \brief Applies one `key=value` override from the pipeline spec.
+  ///
+  /// The default implementation rejects every key; overrides list theirs.
+  /// \throws PipelineError (cts/pipeline.h) for unknown keys or
+  ///         unparsable values, naming the pass and the parameter
+  virtual void set_param(const std::string& key, const std::string& value);
+
+  virtual void run(FlowContext& ctx) = 0;
+};
+
+class PassRegistry;  // cts/pipeline.h
+
+/// Registers the eight stock passes (dme, repair, insert, polarity, tbsz,
+/// twsz, twsn, bwsn) into `registry`.  PassRegistry::builtin() calls this.
+void register_builtin_passes(PassRegistry& registry);
+
+}  // namespace contango

@@ -3,7 +3,9 @@
 #include <ctime>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 
+#include "cts/pipeline.h"
 #include "cts/scenario.h"
 #include "io/json.h"
 #include "io/table.h"
@@ -103,6 +105,34 @@ std::string SuiteReport::to_json() const {
     w.kv("worst_slew_ps", r.result.eval.worst_slew);
     w.kv("total_cap_ff", r.result.eval.total_cap);
     w.kv("legal", r.result.eval.legal());
+    w.kv("pipeline_spec", r.result.pipeline_spec);
+    // Per-pass cost accounting: where this run's wall/CPU time and
+    // simulation budget went (ablation sweeps diff these blocks).
+    w.key("passes");
+    w.begin_array();
+    for (const PassTiming& p : r.result.pass_timings) {
+      w.begin_object();
+      w.kv("name", p.name);
+      w.kv("wall_seconds", p.wall_seconds);
+      w.kv("cpu_seconds", p.cpu_seconds);
+      w.kv("sim_runs", static_cast<long>(p.sim_runs));
+      w.end_object();
+    }
+    w.end_array();
+    // The Table III axis: per-stage snapshots of the optimization flow.
+    w.key("stages");
+    w.begin_array();
+    for (const StageSnapshot& s : r.result.stages) {
+      w.begin_object();
+      w.kv("name", s.name);
+      w.kv("skew_ps", s.skew);
+      w.kv("clr_ps", s.clr);
+      w.kv("max_latency_ps", s.max_latency);
+      w.kv("cap_ff", s.cap);
+      w.kv("sim_runs", static_cast<long>(s.sim_runs));
+      w.end_object();
+    }
+    w.end_array();
     if (r.has_mc) {
       // Embed the MC report without its per-trial samples: suite reports
       // are the release-over-release record, and the summary is what CI
@@ -141,6 +171,13 @@ SuiteReport run_suite(const std::vector<Benchmark>& suite,
   report.threads = options.threads <= 0 ? hardware_threads()
                                         : options.threads;
 
+  // Resolve the pipeline once up front: a malformed spec (unknown pass,
+  // bad parameter override) throws here, before any run starts, instead of
+  // failing every benchmark individually inside the workers.
+  FlowOptions flow = options.flow;
+  if (!options.pipeline_spec.empty()) flow.pipeline = options.pipeline_spec;
+  Pipeline::from_options(flow);
+
   // Benchmark::obstacles() builds its cache lazily through mutable members,
   // so warm it here while the suite is still single-threaded; the workers
   // then only ever read the benchmarks.
@@ -158,7 +195,7 @@ SuiteReport run_suite(const std::vector<Benchmark>& suite,
       run.num_sinks = static_cast<int>(bench.sinks.size());
       Timer run_timer;
       try {
-        run.result = run_contango(bench, options.flow);
+        run.result = run_contango(bench, flow);
         run.ok = true;
         if (options.mc_trials > 0) {
           // The suite already fans across benchmarks, so the MC pass runs
@@ -202,15 +239,40 @@ SuiteReport run_suite_spec(const std::string& spec, std::uint64_t seed,
 }
 
 SuiteOptions suite_options_from_env(SuiteOptions base) {
-  base.threads = static_cast<int>(env_long("CONTANGO_THREADS", base.threads));
-  base.mc_trials = static_cast<int>(env_long("CONTANGO_MC_TRIALS", base.mc_trials));
+  base.threads = static_cast<int>(env_long_strict("CONTANGO_THREADS", base.threads));
+  if (base.threads < 0) {
+    throw std::runtime_error("CONTANGO_THREADS=" + std::to_string(base.threads) +
+                             " must be >= 0 (0 = hardware concurrency)");
+  }
+  base.mc_trials =
+      static_cast<int>(env_long_strict("CONTANGO_MC_TRIALS", base.mc_trials));
+  if (base.mc_trials < 0) {
+    throw std::runtime_error("CONTANGO_MC_TRIALS=" +
+                             std::to_string(base.mc_trials) +
+                             " must be >= 0 (0 disables Monte-Carlo)");
+  }
   const double default_sigma =
       base.variation.sigma_vdd > 0.0 ? base.variation.sigma_vdd : 0.05;
-  base.variation.sigma_vdd = env_double("CONTANGO_MC_SIGMA_VDD", default_sigma);
-  base.variation.seed = static_cast<std::uint64_t>(
-      env_long("CONTANGO_MC_SEED", static_cast<long>(base.variation.seed)));
-  base.mc_skew_target = env_double("CONTANGO_MC_SKEW_TARGET", base.mc_skew_target);
+  base.variation.sigma_vdd =
+      env_double_strict("CONTANGO_MC_SIGMA_VDD", default_sigma);
+  if (base.variation.sigma_vdd < 0.0) {
+    throw std::runtime_error("CONTANGO_MC_SIGMA_VDD must be >= 0");
+  }
+  base.variation.seed = static_cast<std::uint64_t>(env_long_strict(
+      "CONTANGO_MC_SEED", static_cast<long>(base.variation.seed)));
+  base.mc_skew_target =
+      env_double_strict("CONTANGO_MC_SKEW_TARGET", base.mc_skew_target);
   base.json_report_path = env_string("CONTANGO_JSON_OUT", base.json_report_path);
+  base.pipeline_spec = env_string("CONTANGO_PIPELINE", base.pipeline_spec);
+  if (!base.pipeline_spec.empty()) {
+    // Fail fast on a bad spec, naming the knob: discovering the mistake
+    // per-benchmark inside a suite run would be far noisier.
+    try {
+      Pipeline::from_spec(base.pipeline_spec);
+    } catch (const PipelineError& e) {
+      throw std::runtime_error(std::string("CONTANGO_PIPELINE: ") + e.what());
+    }
+  }
   return base;
 }
 

@@ -29,6 +29,12 @@ struct SuiteRun;
 struct SuiteOptions {
   FlowOptions flow;  ///< applied to every benchmark in the suite
 
+  /// Pass-pipeline spec (cts/pipeline.h) applied to every benchmark; when
+  /// non-empty it overrides `flow.pipeline`.  A malformed spec makes
+  /// run_suite() throw PipelineError before any run starts.  Benchmark
+  /// drivers bind this to the CONTANGO_PIPELINE env knob.
+  std::string pipeline_spec;
+
   /// Worker threads fanning out `run_contango` calls; 0 picks the hardware
   /// concurrency, 1 runs the suite serially on the calling thread.
   /// Benchmark drivers bind this to the CONTANGO_THREADS env knob.
@@ -139,6 +145,7 @@ SuiteReport run_suite_spec(const std::string& spec, std::uint64_t seed,
 /// \brief Applies the harness env knobs (util/env.h) on top of `base`:
 ///
 ///   CONTANGO_THREADS         -> threads
+///   CONTANGO_PIPELINE        -> pipeline_spec (cts/pipeline.h syntax)
 ///   CONTANGO_MC_TRIALS       -> mc_trials (0 keeps MC off)
 ///   CONTANGO_MC_SIGMA_VDD    -> variation.sigma_vdd (default 0.05)
 ///   CONTANGO_MC_SEED         -> variation.seed
@@ -146,6 +153,10 @@ SuiteReport run_suite_spec(const std::string& spec, std::uint64_t seed,
 ///   CONTANGO_JSON_OUT        -> json_report_path
 ///
 /// Benchmark drivers call this so every binary honors the same knobs.
+/// Malformed values are configuration mistakes and are rejected, not
+/// silently coerced: a non-numeric CONTANGO_THREADS, a negative
+/// CONTANGO_MC_TRIALS or an invalid CONTANGO_PIPELINE spec all throw with
+/// the variable named in the message.
 SuiteOptions suite_options_from_env(SuiteOptions base = {});
 
 }  // namespace contango

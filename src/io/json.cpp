@@ -83,6 +83,11 @@ void JsonWriter::null_value() {
   out_ += "null";
 }
 
+void JsonWriter::raw_value(const std::string& json) {
+  comma_if_needed();
+  out_ += json;
+}
+
 std::string JsonWriter::escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());

@@ -50,6 +50,12 @@ class JsonWriter {
   void value(const char* v) { value(std::string(v)); }
   void null_value();
 
+  /// Splices `json` — assumed to be one complete, well-formed JSON value —
+  /// verbatim where the next value would go.  Lets reports embed
+  /// sub-documents serialized elsewhere (e.g. an ablation report embedding
+  /// per-variant SuiteReport::to_json() output) without re-walking them.
+  void raw_value(const std::string& json);
+
   /// key() + value() in one call.
   template <typename T>
   void kv(const std::string& name, T v) {

@@ -1,7 +1,9 @@
 #include "util/env.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 
 namespace contango {
 
@@ -19,6 +21,40 @@ double env_double(const char* name, double fallback) {
   char* end = nullptr;
   double parsed = std::strtod(value, &end);
   return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+long env_long_strict(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || end == nullptr || *end != '\0') {
+    throw std::runtime_error(std::string(name) + "='" + value +
+                             "' is not a valid integer");
+  }
+  if (errno == ERANGE) {
+    throw std::runtime_error(std::string(name) + "='" + value +
+                             "' is out of range");
+  }
+  return parsed;
+}
+
+double env_double_strict(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || end == nullptr || *end != '\0') {
+    throw std::runtime_error(std::string(name) + "='" + value +
+                             "' is not a valid number");
+  }
+  if (errno == ERANGE) {
+    throw std::runtime_error(std::string(name) + "='" + value +
+                             "' is out of range");
+  }
+  return parsed;
 }
 
 std::string env_string(const char* name, const std::string& fallback) {

@@ -12,6 +12,17 @@ long env_long(const char* name, long fallback);
 /// Reads a floating-point environment variable with a fallback.
 double env_double(const char* name, double fallback);
 
+/// \brief Strict variant of env_long: unset (or empty) still yields the
+/// fallback, but a *set yet malformed* value throws instead of being
+/// silently coerced — `CONTANGO_THREADS=abc` is a configuration mistake the
+/// harness must surface, not paper over.
+/// \throws std::runtime_error naming the variable and its offending value
+long env_long_strict(const char* name, long fallback);
+
+/// Strict variant of env_double; see env_long_strict.
+/// \throws std::runtime_error naming the variable and its offending value
+double env_double_strict(const char* name, double fallback);
+
 /// Reads a string environment variable with a fallback.
 std::string env_string(const char* name, const std::string& fallback);
 

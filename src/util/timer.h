@@ -1,6 +1,7 @@
 #pragma once
 
 #include <chrono>
+#include <ctime>
 
 namespace contango {
 
@@ -20,5 +21,20 @@ class Timer {
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
+
+/// CPU seconds consumed by the *calling thread* so far.  Unlike
+/// std::clock() this stays meaningful when several flows run concurrently
+/// on a worker pool (per-pass cost accounting in cts/pipeline.h); falls
+/// back to process CPU time where no thread clock exists.
+inline double thread_cpu_seconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  std::timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
 
 }  // namespace contango

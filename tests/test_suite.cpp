@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "cts/suite.h"
@@ -196,6 +198,123 @@ TEST(Suite, WritesJsonReportToRequestedPath) {
   // An unwritable path fails loudly, not silently.
   options.json_report_path = "/nonexistent_dir_xyz/report.json";
   EXPECT_THROW(run_suite(suite, options), std::runtime_error);
+}
+
+TEST(Suite, PipelineSpecFlowsIntoRunsAndJson) {
+  std::vector<Benchmark> suite{generate_ispd_like(ispd09_suite_params(3))};
+  SuiteOptions options;
+  options.threads = 1;
+  options.pipeline_spec = "dme,repair,insert,polarity";
+  const SuiteReport report = run_suite(suite, options);
+  ASSERT_TRUE(report.all_ok());
+  EXPECT_EQ(report.runs[0].result.pipeline_spec, options.pipeline_spec);
+  ASSERT_EQ(report.runs[0].result.pass_timings.size(), 4u);
+  EXPECT_EQ(report.runs[0].result.pass_timings[0].name, "DME");
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"pipeline_spec\":\"dme,repair,insert,polarity\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"passes\":["), std::string::npos);
+  EXPECT_NE(json.find("\"stages\":["), std::string::npos);
+  EXPECT_NE(json.find("\"cpu_seconds\":"), std::string::npos);
+
+  // A malformed spec throws before any run starts.
+  options.pipeline_spec = "dme,bogus";
+  EXPECT_THROW(run_suite(suite, options), std::runtime_error);
+
+  // A syntactically valid spec that never builds a tree is a per-run
+  // failure (recorded, no crash), since up-front validation cannot know
+  // which registered passes build trees.
+  options.pipeline_spec = "twsz,twsn";
+  const SuiteReport no_tree = run_suite(suite, options);
+  ASSERT_EQ(no_tree.runs.size(), 1u);
+  EXPECT_FALSE(no_tree.all_ok());
+  EXPECT_NE(no_tree.runs[0].error.find("tree"), std::string::npos)
+      << no_tree.runs[0].error;
+}
+
+/// Scoped setenv/unsetenv so env tests cannot leak into other tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    setenv(name, value, 1);
+  }
+  ~ScopedEnv() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(SuiteEnv, ValidValuesParse) {
+  ScopedEnv threads("CONTANGO_THREADS", "3");
+  ScopedEnv trials("CONTANGO_MC_TRIALS", "16");
+  ScopedEnv sigma("CONTANGO_MC_SIGMA_VDD", "0.07");
+  ScopedEnv pipeline("CONTANGO_PIPELINE", "dme,repair,insert,polarity,twsn");
+  const SuiteOptions options = suite_options_from_env();
+  EXPECT_EQ(options.threads, 3);
+  EXPECT_EQ(options.mc_trials, 16);
+  EXPECT_DOUBLE_EQ(options.variation.sigma_vdd, 0.07);
+  EXPECT_EQ(options.pipeline_spec, "dme,repair,insert,polarity,twsn");
+}
+
+TEST(SuiteEnv, MalformedNumericValuesRejectedNamingTheVariable) {
+  {
+    ScopedEnv bad("CONTANGO_THREADS", "abc");
+    try {
+      suite_options_from_env();
+      FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("CONTANGO_THREADS"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    ScopedEnv bad("CONTANGO_MC_TRIALS", "12x");
+    EXPECT_THROW(suite_options_from_env(), std::runtime_error);
+  }
+  {
+    ScopedEnv bad("CONTANGO_MC_SIGMA_VDD", "five percent");
+    try {
+      suite_options_from_env();
+      FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("CONTANGO_MC_SIGMA_VDD"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(SuiteEnv, NegativeCountsRejected) {
+  {
+    ScopedEnv bad("CONTANGO_MC_TRIALS", "-5");
+    try {
+      suite_options_from_env();
+      FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("CONTANGO_MC_TRIALS"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    ScopedEnv bad("CONTANGO_THREADS", "-1");
+    EXPECT_THROW(suite_options_from_env(), std::runtime_error);
+  }
+}
+
+TEST(SuiteEnv, BadPipelineSpecRejectedNamingTheKnob) {
+  ScopedEnv bad("CONTANGO_PIPELINE", "dme,definitely_not_a_pass");
+  try {
+    suite_options_from_env();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("CONTANGO_PIPELINE"), std::string::npos) << message;
+    EXPECT_NE(message.find("definitely_not_a_pass"), std::string::npos)
+        << message;
+  }
 }
 
 }  // namespace
