@@ -96,6 +96,11 @@ int main() {
               report.threads, report.wall_seconds, report.process_cpu_seconds,
               report.process_cpu_seconds / report.wall_seconds,
               report.total_sim_runs());
+  // The incremental engine's scorecard: how many candidate evaluations
+  // re-propagated only dirty paths instead of the whole tree
+  // (CONTANGO_INCREMENTAL=0 forces every evaluation full for comparison).
+  std::printf("evaluation split: %ld full-tree propagations, %ld incremental\n",
+              report.total_full_evals(), report.total_incremental_evals());
   std::printf("Set CONTANGO_MAX_SINKS=50000 to run the paper's full sweep.\n");
   if (!options.json_report_path.empty()) {
     std::printf("JSON report written to %s\n", options.json_report_path.c_str());

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Record a Table-V scaling snapshot (the repo's perf-trajectory series).
+
+Runs ``bench_table5_scaling`` with ``CONTANGO_JSON_OUT`` and copies the
+machine-readable suite report to ``BENCH_table5.json`` (checked in at the
+repo root, one point per PR that wants to claim a perf delta).  The report
+carries per-run wall seconds plus the full/incremental evaluation split,
+so release-over-release diffs show both what got faster and why.
+
+Usage:
+    python3 scripts/bench_snapshot.py [--build-dir build] [--out BENCH_table5.json]
+                                      [--max-sinks 2000] [--threads 1]
+                                      [--force-full]
+
+Exit status is non-zero when the bench fails or the report is malformed.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory holding bench_table5_scaling")
+    parser.add_argument("--out", default="BENCH_table5.json",
+                        help="where to write the snapshot (repo-root relative)")
+    parser.add_argument("--max-sinks", type=int, default=2000,
+                        help="CONTANGO_MAX_SINKS for the sweep")
+    parser.add_argument("--threads", type=int, default=1,
+                        help="CONTANGO_THREADS (1 = serial, reproducible timing)")
+    parser.add_argument("--force-full", action="store_true",
+                        help="set CONTANGO_INCREMENTAL=0 (baseline comparison runs)")
+    args = parser.parse_args()
+
+    build_dir = pathlib.Path(args.build_dir)
+    bench = build_dir / "bench_table5_scaling"
+    if not bench.exists():
+        print(f"bench_snapshot: {bench} not found — build the project first",
+              file=sys.stderr)
+        return 1
+
+    raw = build_dir / "table5_snapshot.json"
+    env = dict(os.environ)
+    env.update({
+        "CONTANGO_MAX_SINKS": str(args.max_sinks),
+        "CONTANGO_THREADS": str(args.threads),
+        "CONTANGO_JSON_OUT": str(raw),
+        "CONTANGO_MC_TRIALS": env.get("CONTANGO_MC_TRIALS", "0"),
+    })
+    if args.force_full:
+        env["CONTANGO_INCREMENTAL"] = "0"
+
+    print(f"bench_snapshot: running {bench} "
+          f"(max_sinks={args.max_sinks}, threads={args.threads}, "
+          f"incremental={'0' if args.force_full else env.get('CONTANGO_INCREMENTAL', '1')})")
+    result = subprocess.run([str(bench)], env=env)
+    if result.returncode != 0:
+        print("bench_snapshot: bench_table5_scaling failed", file=sys.stderr)
+        return result.returncode
+
+    with open(raw) as f:
+        report = json.load(f)
+    if report.get("type") != "contango_suite_report" or not report.get("runs"):
+        print("bench_snapshot: malformed suite report", file=sys.stderr)
+        return 1
+
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=1, sort_keys=False)
+        f.write("\n")
+
+    total = report["total_sim_runs"]
+    full = report["total_full_evals"]
+    incremental = report["total_incremental_evals"]
+    print(f"bench_snapshot: wrote {args.out} — "
+          f"{len(report['runs'])} run(s), {report['wall_seconds']:.1f} s wall, "
+          f"{total} sims ({full} full, {incremental} incremental)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

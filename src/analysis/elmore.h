@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "rctree/extract.h"
@@ -44,6 +46,44 @@ class ElmoreStage {
   std::vector<Ps> tau_;    ///< Elmore tau per RC node (driver term excluded)
   std::vector<Ff> cdown_;  ///< downstream cap per RC node
   Ff total_cap_ = 0.0;
+};
+
+/// \brief Per-stage cache of ElmoreStage sweeps, keyed by RcNetlist slot
+/// version.
+///
+/// The bottom-up load (cdown) and top-down tau sweeps of an ElmoreStage
+/// depend only on the stage's RC contents, so they stay valid until the
+/// stage is re-extracted.  The incremental evaluator keeps one cache per
+/// netlist and rebuilds entries only along dirty paths; a full evaluation
+/// rebuilds them per simulate_stage() call instead.  Entries are rebuilt
+/// from identical inputs by identical code, so cached and fresh sweeps are
+/// bit-identical.
+class ElmoreCache {
+ public:
+  /// Returns the cached sweep for `slot`, rebuilding it from `stage` when
+  /// `version` differs from the cached one.  `stage` must be the slot's
+  /// stage object (its address must stay valid while the entry is used —
+  /// RcNetlist keeps slot storage stable).
+  const ElmoreStage& get(int slot, std::uint64_t version, const Stage& stage) {
+    if (static_cast<std::size_t>(slot) >= entries_.size()) {
+      entries_.resize(static_cast<std::size_t>(slot) + 1);
+    }
+    Entry& e = entries_[static_cast<std::size_t>(slot)];
+    if (!e.elmore || e.version != version) {
+      e.elmore = std::make_unique<ElmoreStage>(stage);
+      e.version = version;
+    }
+    return *e.elmore;
+  }
+
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    std::unique_ptr<ElmoreStage> elmore;
+    std::uint64_t version = 0;
+  };
+  std::vector<Entry> entries_;
 };
 
 }  // namespace contango

@@ -44,6 +44,96 @@ Ps CornerTiming::skew() const {
   return worst;
 }
 
+namespace {
+
+/// \name Shared propagation core
+/// The full (evaluate_netlist) and incremental (IncrementalEvaluator)
+/// engines run exactly these helpers for everything that touches timing
+/// arithmetic — event recurrence, driver view, tap fan-out, aggregation —
+/// so their bit-identity contract holds by construction; the engines
+/// differ only in where the TapTimings come from (fresh simulation vs.
+/// cache) and how downstream stages are indexed.
+/// @{
+
+/// Event at a stage driver's input.
+struct StageEvent {
+  Ps time = 0.0;
+  Ps slew = 0.0;
+  Transition dir = Transition::kRise;  ///< direction at the driver input
+};
+
+/// The clock source is non-inverting; composite buffers invert.
+Transition stage_output_dir(const Stage& stage, Transition in_dir) {
+  if (!stage.driver_inverts) return in_dir;
+  return (in_dir == Transition::kRise) ? Transition::kFall : Transition::kRise;
+}
+
+/// Effective driver view of `stage` under supply `vdd` driving `out_dir`.
+struct DriverView {
+  KOhm r_drv = 0.0;
+  Ps intrinsic = 0.0;
+};
+
+DriverView stage_driver_view(const Stage& stage, const Technology& tech,
+                             Volt vdd, Transition out_dir) {
+  return DriverView{
+      effective_driver_res(stage.driver_res_nom, tech, vdd, out_dir),
+      effective_intrinsic(stage.driver_intrinsic_nom, tech, vdd)};
+}
+
+/// Fans one stage's tap timings out: sink taps land in `corner` (source
+/// transition `t`), buffer taps pair with the stage's downstream entries
+/// in order and hand the child its input event through
+/// `schedule(child, event)`.
+template <typename ScheduleFn>
+void fan_out_taps(const Stage& stage, const StageEvent& ev, Transition out_dir,
+                  const std::vector<TapTiming>& taps, CornerTiming& corner,
+                  int t, ScheduleFn&& schedule) {
+  std::size_t next_stage = 0;
+  for (std::size_t k = 0; k < stage.taps.size(); ++k) {
+    const Tap& tap = stage.taps[k];
+    corner.max_slew = std::max(corner.max_slew, taps[k].slew);
+    if (tap.is_sink) {
+      SinkTiming& st = corner.sinks[t][static_cast<std::size_t>(tap.sink_index)];
+      st.latency = ev.time + taps[k].delay;
+      st.slew = taps[k].slew;
+      st.reached = true;
+    } else {
+      const int child = stage.downstream_stages.at(next_stage++);
+      schedule(child, StageEvent{ev.time + taps[k].delay, taps[k].slew, out_dir});
+    }
+  }
+}
+
+/// Shared aggregation tail of a CNE pass: derived metrics (worst slew,
+/// reachability, skew, CLR) from the per-corner timings.
+void aggregate_corners(EvalResult& result, const Benchmark& bench) {
+  for (const CornerTiming& corner : result.corners) {
+    result.worst_slew = std::max(result.worst_slew, corner.max_slew);
+    for (const auto& per_transition : corner.sinks) {
+      for (const SinkTiming& s : per_transition) {
+        if (!s.reached) result.all_sinks_reached = false;
+      }
+    }
+  }
+  result.slew_violation = result.worst_slew > bench.tech.slew_limit;
+  if (!result.corners.empty()) {
+    result.nominal_skew = result.corners.front().skew();
+    result.max_latency = result.corners.front().max_latency();
+  }
+  if (result.corners.size() >= 2) {
+    // Clock Latency Range (ISPD'09): greatest sink latency at the low
+    // supply minus least sink latency at the nominal supply.
+    result.clr = result.corners.back().max_latency() - result.corners.front().min_latency();
+  } else {
+    result.clr = result.nominal_skew;
+  }
+}
+
+/// @}
+
+}  // namespace
+
 KOhm effective_driver_res(KOhm nominal, const Technology& tech, Volt vdd,
                           Transition output_transition) {
   const double corner = std::pow(tech.vdd_nom / vdd, tech.supply_alpha);
@@ -73,13 +163,6 @@ EvalResult evaluate_netlist(const StagedNetlist& net, const Benchmark& bench,
   }
   EvalResult result;
 
-  /// Event at a stage driver's input.
-  struct Event {
-    Ps time = 0.0;
-    Ps slew = 0.0;
-    Transition dir = Transition::kRise;  ///< direction at the driver input
-  };
-
   for (Volt vdd : bench.tech.corners) {
     CornerTiming corner;
     corner.vdd = vdd;
@@ -89,9 +172,9 @@ EvalResult evaluate_netlist(const StagedNetlist& net, const Benchmark& bench,
 
     for (int t = 0; t < kNumTransitions; ++t) {
       const auto source_dir = static_cast<Transition>(t);
-      std::vector<Event> events(net.stages.size());
+      std::vector<StageEvent> events(net.stages.size());
       std::vector<char> scheduled(net.stages.size(), 0);
-      events[0] = Event{0.0, source_input_slew, source_dir};
+      events[0] = StageEvent{0.0, source_input_slew, source_dir};
       scheduled[0] = 1;
 
       // Stages are created parent-before-child by extraction, so a single
@@ -101,62 +184,27 @@ EvalResult evaluate_netlist(const StagedNetlist& net, const Benchmark& bench,
           throw std::logic_error("evaluate_netlist: stage scheduled out of order");
         }
         const Stage& stage = net.stages[si];
-        const Event& ev = events[si];
+        const StageEvent& ev = events[si];
 
-        // The clock source is non-inverting; composite buffers invert.
-        Transition out_dir = ev.dir;
-        if (stage.driver_inverts) {
-          out_dir = (ev.dir == Transition::kRise) ? Transition::kFall : Transition::kRise;
-        }
+        const Transition out_dir = stage_output_dir(stage, ev.dir);
         const Volt vdd_stage = stage_vdd_delta ? vdd + (*stage_vdd_delta)[si] : vdd;
-        const KOhm r_drv =
-            effective_driver_res(stage.driver_res_nom, bench.tech, vdd_stage, out_dir);
-        const Ps intrinsic =
-            effective_intrinsic(stage.driver_intrinsic_nom, bench.tech, vdd_stage);
+        const DriverView drv =
+            stage_driver_view(stage, bench.tech, vdd_stage, out_dir);
 
-        const std::vector<TapTiming> taps = sim.simulate_stage(stage, r_drv, intrinsic, ev.slew);
+        const std::vector<TapTiming> taps =
+            sim.simulate_stage(stage, drv.r_drv, drv.intrinsic, ev.slew);
 
-        std::size_t next_stage = 0;
-        for (std::size_t k = 0; k < stage.taps.size(); ++k) {
-          const Tap& tap = stage.taps[k];
-          corner.max_slew = std::max(corner.max_slew, taps[k].slew);
-          if (tap.is_sink) {
-            SinkTiming& st = corner.sinks[t][static_cast<std::size_t>(tap.sink_index)];
-            st.latency = ev.time + taps[k].delay;
-            st.slew = taps[k].slew;
-            st.reached = true;
-          } else {
-            const int child = stage.downstream_stages.at(next_stage++);
-            events[static_cast<std::size_t>(child)] =
-                Event{ev.time + taps[k].delay, taps[k].slew, out_dir};
-            scheduled[static_cast<std::size_t>(child)] = 1;
-          }
-        }
+        fan_out_taps(stage, ev, out_dir, taps, corner, t,
+                     [&](int child, const StageEvent& e) {
+                       events[static_cast<std::size_t>(child)] = e;
+                       scheduled[static_cast<std::size_t>(child)] = 1;
+                     });
       }
     }
     result.corners.push_back(std::move(corner));
   }
 
-  for (const CornerTiming& corner : result.corners) {
-    result.worst_slew = std::max(result.worst_slew, corner.max_slew);
-    for (const auto& per_transition : corner.sinks) {
-      for (const SinkTiming& s : per_transition) {
-        if (!s.reached) result.all_sinks_reached = false;
-      }
-    }
-  }
-  result.slew_violation = result.worst_slew > bench.tech.slew_limit;
-  if (!result.corners.empty()) {
-    result.nominal_skew = result.corners.front().skew();
-    result.max_latency = result.corners.front().max_latency();
-  }
-  if (result.corners.size() >= 2) {
-    // Clock Latency Range (ISPD'09): greatest sink latency at the low
-    // supply minus least sink latency at the nominal supply.
-    result.clr = result.corners.back().max_latency() - result.corners.front().min_latency();
-  } else {
-    result.clr = result.nominal_skew;
-  }
+  aggregate_corners(result, bench);
   return result;
 }
 
@@ -168,10 +216,114 @@ void account_capacitance(EvalResult& result, const ClockTree& tree,
 
 EvalResult Evaluator::evaluate(const ClockTree& tree) {
   sim_runs_.fetch_add(1, std::memory_order_relaxed);
+  full_evals_.fetch_add(1, std::memory_order_relaxed);
   const StagedNetlist net = extract_stages(tree, bench_, options_.extract);
   EvalResult result =
       evaluate_netlist(net, bench_, sim_, options_.source_input_slew);
   account_capacitance(result, tree, bench_, sink_caps_);
+  return result;
+}
+
+// ---------------------------------------------------- IncrementalEvaluator --
+
+void IncrementalEvaluator::bind(const ClockTree& tree) {
+  tree_ = &tree;
+  net_.build(tree, eval_.bench_, eval_.options_.extract);
+  // Slot versions are globally monotonic, so stale cache entries could
+  // never be mistaken for fresh ones — clearing just releases memory.
+  elmore_.clear();
+  timings_.clear();
+}
+
+EvalResult IncrementalEvaluator::evaluate() {
+  if (!bound()) {
+    throw std::logic_error("IncrementalEvaluator: evaluate before bind");
+  }
+  net_.refresh();
+
+  const Benchmark& bench = eval_.bench_;
+  const TransientSimulator& sim = eval_.sim_;
+  const Ps source_input_slew = eval_.options_.source_input_slew;
+  const std::vector<int>& topo = net_.topo_slots();
+  const std::size_t combos = bench.tech.corners.size() * kNumTransitions;
+
+  if (timings_.size() < net_.slot_count()) timings_.resize(net_.slot_count());
+
+  EvalResult result;
+
+  // Same StageEvent recurrence — and the same order of additions along
+  // every root-to-sink path — as the full evaluate_netlist() propagation;
+  // all timing arithmetic goes through the shared helpers above.
+  std::vector<StageEvent> events(net_.slot_count());
+  std::vector<char> scheduled(net_.slot_count(), 0);
+
+  for (std::size_t ci = 0; ci < bench.tech.corners.size(); ++ci) {
+    const Volt vdd = bench.tech.corners[ci];
+    CornerTiming corner;
+    corner.vdd = vdd;
+    for (auto& per_transition : corner.sinks) {
+      per_transition.assign(bench.sinks.size(), SinkTiming{});
+    }
+
+    for (int t = 0; t < kNumTransitions; ++t) {
+      const auto source_dir = static_cast<Transition>(t);
+      std::fill(scheduled.begin(), scheduled.end(), 0);
+      if (!topo.empty()) {
+        events[static_cast<std::size_t>(topo.front())] =
+            StageEvent{0.0, source_input_slew, source_dir};
+        scheduled[static_cast<std::size_t>(topo.front())] = 1;
+      }
+
+      for (const int slot : topo) {
+        // Same fail-fast invariant as the full propagation: the stage
+        // graph (maintained across splits/merges/sweeps) must hand every
+        // slot its event before the slot is processed — a repair bug must
+        // throw, not return plausible timings from a zero event.
+        if (!scheduled[static_cast<std::size_t>(slot)]) {
+          throw std::logic_error(
+              "IncrementalEvaluator: stage scheduled out of order");
+        }
+        const Stage& stage = net_.stage(slot);
+        const StageEvent ev = events[static_cast<std::size_t>(slot)];
+        const Transition out_dir = stage_output_dir(stage, ev.dir);
+
+        std::vector<CachedTiming>& per_slot = timings_[static_cast<std::size_t>(slot)];
+        if (per_slot.size() != combos) per_slot.assign(combos, CachedTiming{});
+        CachedTiming& entry = per_slot[ci * kNumTransitions + static_cast<std::size_t>(t)];
+
+        // Reuse is allowed exactly when every input of simulate_stage()
+        // matches the cached call: same stage contents (version), same
+        // input direction (fixes r_drv via out_dir) and bit-equal input
+        // slew.  The corner and transition are part of the cache key.
+        const std::uint64_t version = net_.version(slot);
+        if (entry.version != version || entry.in_dir != ev.dir ||
+            entry.in_slew != ev.slew) {
+          const DriverView drv = stage_driver_view(stage, bench.tech, vdd, out_dir);
+          entry.taps = sim.simulate_stage(stage, drv.r_drv, drv.intrinsic, ev.slew,
+                                          &elmore_.get(slot, version, stage));
+          entry.version = version;
+          entry.in_dir = ev.dir;
+          entry.in_slew = ev.slew;
+          ++stage_sims_;
+        } else {
+          ++stage_reuses_;
+        }
+
+        fan_out_taps(stage, ev, out_dir, entry.taps, corner, t,
+                     [&](int child, const StageEvent& e) {
+                       events[static_cast<std::size_t>(child)] = e;
+                       scheduled[static_cast<std::size_t>(child)] = 1;
+                     });
+      }
+    }
+    result.corners.push_back(std::move(corner));
+  }
+
+  aggregate_corners(result, bench);
+  account_capacitance(result, *tree_, bench, eval_.sink_caps_);
+
+  eval_.sim_runs_.fetch_add(1, std::memory_order_relaxed);
+  eval_.incremental_evals_.fetch_add(1, std::memory_order_relaxed);
   return result;
 }
 

@@ -2,8 +2,10 @@
 
 #include <array>
 #include <atomic>
+#include <cstdint>
 #include <vector>
 
+#include "analysis/elmore.h"
 #include "analysis/transient.h"
 #include "netlist/benchmark.h"
 #include "rctree/clocktree.h"
@@ -113,18 +115,101 @@ class Evaluator {
   /// Number of evaluate() calls so far ("SPICE runs").  Atomic so that
   /// per-thread evaluator counts can be read and aggregated (e.g. into a
   /// suite-wide total) while other workers are still evaluating.
+  /// Every run is counted exactly once more as either a *full* evaluation
+  /// (from-scratch extraction + whole-tree propagation: evaluate(),
+  /// calibration probes, Monte-Carlo trials) or an *incremental* one
+  /// (IncrementalEvaluator::evaluate, re-propagated along dirty paths
+  /// only), so sim_runs() == full_evals() + incremental_evals().
   int sim_runs() const { return sim_runs_.load(std::memory_order_relaxed); }
-  void reset_sim_runs() { sim_runs_.store(0, std::memory_order_relaxed); }
+  int full_evals() const { return full_evals_.load(std::memory_order_relaxed); }
+  int incremental_evals() const {
+    return incremental_evals_.load(std::memory_order_relaxed);
+  }
+  void reset_sim_runs() {
+    sim_runs_.store(0, std::memory_order_relaxed);
+    full_evals_.store(0, std::memory_order_relaxed);
+    incremental_evals_.store(0, std::memory_order_relaxed);
+  }
 
   const Benchmark& benchmark() const { return bench_; }
   const EvalOptions& options() const { return options_; }
+  const TransientSimulator& simulator() const { return sim_; }
+  const std::vector<Ff>& sink_caps() const { return sink_caps_; }
 
  private:
+  friend class IncrementalEvaluator;
+
   const Benchmark& bench_;
   EvalOptions options_;
   TransientSimulator sim_;
   std::vector<Ff> sink_caps_;
   std::atomic<int> sim_runs_{0};
+  std::atomic<int> full_evals_{0};
+  std::atomic<int> incremental_evals_{0};
+};
+
+/// \brief Incremental Clock-Network Evaluation over a persistent RcNetlist.
+///
+/// Binds to one evolving ClockTree and keeps three layers of state alive
+/// between evaluations:
+///   * the staged RC netlist itself (RcNetlist — dirty stages re-extract);
+///   * per-stage Elmore sweeps (ElmoreCache — bottom-up load state);
+///   * per-(stage x corner x source transition) transient tap timings —
+///     the top-down delay state.
+///
+/// evaluate() refreshes the netlist, then propagates arrival events
+/// through the stage graph re-running the transient engine only where a
+/// stage's contents or its input (direction, slew) changed; everything
+/// else reuses the cached tap timings, and only the cheap arrival-time
+/// additions are redone.  A stage is re-simulated exactly when any input
+/// of simulate_stage() differs from the cached call, so the result is
+/// **bit-identical** to Evaluator::evaluate() on the same tree — the
+/// equivalence the IVC loops (cts/pass.h) and the fuzz tests rely on.
+///
+/// Edits reach the engine through a TreeEditSession constructed with
+/// netlist(); each evaluate() counts one simulation run (an incremental
+/// one) on the owning Evaluator.
+class IncrementalEvaluator {
+ public:
+  explicit IncrementalEvaluator(Evaluator& eval) : eval_(eval) {}
+
+  /// (Re)binds to `tree` and schedules a full rebuild.  The tree must
+  /// outlive the binding (FlowContext owns both).
+  void bind(const ClockTree& tree);
+  bool bound() const { return tree_ != nullptr; }
+  const ClockTree* bound_tree() const { return tree_; }
+
+  /// Dirty-tracking handle for TreeEditSession.  \pre bound()
+  RcNetlist& netlist() { return net_; }
+
+  /// Everything is stale (the bound tree changed behind our back): the
+  /// next evaluate() rebuilds and re-simulates from scratch.
+  void invalidate_all() { net_.mark_all_dirty(); }
+
+  /// One CNE pass over the bound tree; see class comment.  \pre bound()
+  EvalResult evaluate();
+
+  /// simulate_stage() calls spent / avoided by cache hits so far —
+  /// (stage x corner x transition) units of transient work.
+  long stage_sims() const { return stage_sims_; }
+  long stage_reuses() const { return stage_reuses_; }
+
+ private:
+  struct CachedTiming {
+    std::uint64_t version = 0;  ///< 0 = invalid
+    Transition in_dir = Transition::kRise;
+    Ps in_slew = 0.0;
+    std::vector<TapTiming> taps;
+  };
+
+  Evaluator& eval_;
+  const ClockTree* tree_ = nullptr;
+  RcNetlist net_;
+  ElmoreCache elmore_;
+  /// timings_[slot][corner * kNumTransitions + transition]
+  std::vector<std::vector<CachedTiming>> timings_;
+  long stage_sims_ = 0;
+  long stage_reuses_ = 0;
 };
 
 /// Effective driver resistance for a stage driver: applies supply-corner

@@ -54,13 +54,6 @@ void apply_variation(const StagedNetlist& base, const TrialVariation& v,
   }
 }
 
-/// Nearest-rank index into an already-sorted sample vector.
-double sorted_percentile(const std::vector<double>& sorted, double p) {
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
-  return sorted[std::min(rank, sorted.size()) - 1];
-}
-
 MetricSummary summarize(const StreamingStats& stats, std::vector<double> samples) {
   std::sort(samples.begin(), samples.end());  // one sort serves all ranks
   MetricSummary s;
@@ -90,6 +83,20 @@ void write_summary(JsonWriter& w, const char* name, const MetricSummary& s) {
 }  // namespace
 
 double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double sorted_percentile(const std::vector<double>& sorted, double p) {
+  // An empty sample set has no ranks: without this guard the nearest-rank
+  // index `min(rank, size) - 1` underflows to SIZE_MAX (rank is 0 when
+  // size is 0) and reads out of bounds.  NaN is the honest answer; the
+  // table renderer prints it as "n/a" and io/json as null.
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
+  // Clamp p before the float->size_t conversion: casting a negative (or
+  // NaN) rank would be undefined behavior, not merely out of domain.
+  const double frac = std::isnan(p) ? 0.0 : std::clamp(p, 0.0, 100.0) / 100.0;
+  const auto rank =
+      static_cast<std::size_t>(std::ceil(frac * static_cast<double>(sorted.size())));
+  return sorted[std::min(std::max<std::size_t>(rank, 1), sorted.size()) - 1];
+}
 
 double percentile(std::vector<double> samples, double p) {
   if (samples.empty()) throw std::invalid_argument("percentile: empty sample set");
@@ -200,8 +207,9 @@ McReport Evaluator::evaluate_mc(const ClockTree& tree, int trials,
   opts.eval = options_;
   McReport report = run_montecarlo(bench_, tree, model, opts);
   // Every trial is one full CNE pass — count it against the SPICE-run
-  // budget like any other evaluation.
+  // budget (and the full-propagation tally) like any other evaluation.
   sim_runs_.fetch_add(trials, std::memory_order_relaxed);
+  full_evals_.fetch_add(trials, std::memory_order_relaxed);
   return report;
 }
 

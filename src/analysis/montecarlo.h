@@ -80,6 +80,16 @@ class StreamingStats {
 /// set or p outside (0, 100].
 double percentile(std::vector<double> samples, double p);
 
+/// \brief Total-function core of percentile(): `sorted` must already be
+/// sorted ascending.
+///
+/// Returns NaN on an empty sample set instead of reading out of bounds
+/// (the nearest-rank index underflows for n == 0); out-of-domain p —
+/// negative, above 100, or NaN — is clamped into [0, 100] before any
+/// integer conversion, pinning the rank into [1, n].  Callers that want
+/// hard validation use percentile().
+double sorted_percentile(const std::vector<double>& sorted, double p);
+
 /// Distribution summary of one metric over all trials.
 struct MetricSummary {
   double mean = 0.0;

@@ -2,25 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "analysis/elmore.h"
 #include "util/units.h"
 
 namespace contango {
 
-std::vector<TapTiming> TransientSimulator::simulate_stage(const Stage& stage,
-                                                          KOhm r_drv,
-                                                          Ps intrinsic,
-                                                          Ps input_slew) const {
+std::vector<TapTiming> TransientSimulator::simulate_stage(
+    const Stage& stage, KOhm r_drv, Ps intrinsic, Ps input_slew,
+    const ElmoreStage* elmore) const {
   const std::size_t n = stage.nodes.size();
   std::vector<TapTiming> result(stage.taps.size());
   if (n == 0) return result;
 
   // Characteristic time constant for timestep selection and the stop guard.
-  const ElmoreStage elmore(stage);
+  std::optional<ElmoreStage> local;
+  if (!elmore) elmore = &local.emplace(stage);
   Ps max_tau = 0.0;
-  for (const Tap& tap : stage.taps) max_tau = std::max(max_tau, elmore.tau(tap.rc_index));
-  const Ps tau_char = std::max(r_drv * elmore.total_cap() + max_tau, 0.5);
+  for (const Tap& tap : stage.taps) max_tau = std::max(max_tau, elmore->tau(tap.rc_index));
+  const Ps tau_char = std::max(r_drv * elmore->total_cap() + max_tau, 0.5);
 
   // Driver source waveform: delay then linear ramp (normalized 0 -> 1).
   const Ps t0 = intrinsic + options_.slew_to_delay * input_slew;

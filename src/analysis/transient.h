@@ -6,6 +6,8 @@
 
 namespace contango {
 
+class ElmoreStage;  // analysis/elmore.h
+
 /// Timing measured at one tap of a stage by waveform analysis.
 struct TapTiming {
   Ps delay = 0.0;  ///< driver-input 50% crossing to tap 50% crossing
@@ -51,8 +53,14 @@ class TransientSimulator {
   /// `intrinsic` the effective driver intrinsic delay, `input_slew` the
   /// 10-90% transition time at the driver input.  Returns one TapTiming per
   /// stage tap (same order as stage.taps).
+  ///
+  /// `elmore` optionally supplies the stage's Elmore sweep (used for
+  /// timestep selection); pass the ElmoreCache entry of the stage to skip
+  /// rebuilding it per call.  It must have been built from `stage`'s
+  /// current contents; results are bit-identical either way.
   std::vector<TapTiming> simulate_stage(const Stage& stage, KOhm r_drv,
-                                        Ps intrinsic, Ps input_slew) const;
+                                        Ps intrinsic, Ps input_slew,
+                                        const ElmoreStage* elmore = nullptr) const;
 
   const TransientOptions& options() const { return options_; }
 

@@ -33,9 +33,10 @@ Ps calibrate_bottom_twn(const ClockTree& tree, Evaluator& eval,
   return twn;
 }
 
-int bottom_level_round(ClockTree& tree, const EdgeSlacks& slacks,
+int bottom_level_round(TreeEditSession& session, const EdgeSlacks& slacks,
                        const BottomLevelParams& params) {
   if (params.twn_per_unit <= 0.0) return 0;
+  const ClockTree& tree = session.tree();
   int changed = 0;
   for (NodeId id : tree.topological_order()) {
     if (!tree.node(id).is_sink()) continue;
@@ -45,10 +46,18 @@ int bottom_level_round(ClockTree& tree, const EdgeSlacks& slacks,
         std::clamp(static_cast<int>(std::floor(params.safety * slack / params.twn_per_unit)),
                    0, params.max_units);
     if (units > 0) {
-      tree.node(id).snake += units * params.unit;
+      session.add_snake(id, units * params.unit);
       ++changed;
     }
   }
+  return changed;
+}
+
+int bottom_level_round(ClockTree& tree, const EdgeSlacks& slacks,
+                       const BottomLevelParams& params) {
+  TreeEditSession session(tree);
+  const int changed = bottom_level_round(session, slacks, params);
+  session.commit();
   return changed;
 }
 

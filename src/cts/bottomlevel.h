@@ -27,8 +27,13 @@ struct BottomLevelParams {
 Ps calibrate_bottom_twn(const ClockTree& tree, Evaluator& eval,
                         const EvalResult& baseline, Um unit);
 
-/// One fine-tuning pass over sink edges: snakes fast sinks (and narrows
-/// still-wide sink edges when their slack is ample).  Returns edits made.
+/// One fine-tuning pass over sink edges (edit deltas through the session):
+/// snakes fast sinks (and narrows still-wide sink edges when their slack
+/// is ample).  Returns edits made.
+int bottom_level_round(TreeEditSession& session, const EdgeSlacks& slacks,
+                       const BottomLevelParams& params);
+
+/// Compatibility form over a bare tree (one throwaway session, committed).
 int bottom_level_round(ClockTree& tree, const EdgeSlacks& slacks,
                        const BottomLevelParams& params);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "rctree/extract.h"
 #include "util/log.h"
 
 namespace contango {
@@ -97,17 +98,28 @@ int scaled_count(int count, double fraction) {
 
 }  // namespace
 
-int upsize_trunk_buffers(ClockTree& tree, double fraction) {
+int upsize_trunk_buffers(TreeEditSession& session, double fraction) {
+  const ClockTree& tree = session.tree();
   const TrunkInfo trunk = find_trunk(tree);
   int changed = 0;
   for (NodeId b : trunk.buffers) {
-    tree.node(b).buffer.count = scaled_count(tree.node(b).buffer.count, fraction);
+    const CompositeBuffer& old = tree.node(b).buffer;
+    session.set_buffer(
+        b, CompositeBuffer{old.inverter_type, scaled_count(old.count, fraction)});
     ++changed;
   }
   return changed;
 }
 
-int upsize_branch_buffers(ClockTree& tree, int levels, double fraction) {
+int upsize_trunk_buffers(ClockTree& tree, double fraction) {
+  TreeEditSession session(tree);
+  const int changed = upsize_trunk_buffers(session, fraction);
+  session.commit();
+  return changed;
+}
+
+int upsize_branch_buffers(TreeEditSession& session, int levels, double fraction) {
+  const ClockTree& tree = session.tree();
   const TrunkInfo trunk = find_trunk(tree);
   const NodeId branch = trunk.path.back();
   if (tree.node(branch).is_sink()) return 0;
@@ -125,7 +137,9 @@ int upsize_branch_buffers(ClockTree& tree, int levels, double fraction) {
     if (e.id != branch && tree.node(e.id).is_buffer()) {
       ++level;
       if (level <= levels) {
-        tree.node(e.id).buffer.count = scaled_count(tree.node(e.id).buffer.count, fraction);
+        const CompositeBuffer& old = tree.node(e.id).buffer;
+        session.set_buffer(e.id, CompositeBuffer{old.inverter_type,
+                                                 scaled_count(old.count, fraction)});
         ++changed;
       }
     }
@@ -133,6 +147,13 @@ int upsize_branch_buffers(ClockTree& tree, int levels, double fraction) {
       for (NodeId ch : tree.node(e.id).children) queue.push_back(Entry{ch, level});
     }
   }
+  return changed;
+}
+
+int upsize_branch_buffers(ClockTree& tree, int levels, double fraction) {
+  TreeEditSession session(tree);
+  const int changed = upsize_branch_buffers(session, levels, fraction);
+  session.commit();
   return changed;
 }
 
@@ -210,7 +231,8 @@ int equalize_stage_counts(ClockTree& tree, const Benchmark& bench,
   return inserted;
 }
 
-int downsize_bottom_buffers(ClockTree& tree, int steps) {
+int downsize_bottom_buffers(TreeEditSession& session, int steps) {
+  const ClockTree& tree = session.tree();
   // Bottom-level buffers: for each sink, the nearest buffer above it.
   std::unordered_set<NodeId> bottom;
   for (NodeId id : tree.topological_order()) {
@@ -224,12 +246,20 @@ int downsize_bottom_buffers(ClockTree& tree, int steps) {
   }
   int changed = 0;
   for (NodeId b : bottom) {
-    CompositeBuffer& buf = tree.node(b).buffer;
+    const CompositeBuffer& buf = tree.node(b).buffer;
     if (buf.count > 1) {
-      buf.count = std::max(1, buf.count - steps);
+      session.set_buffer(
+          b, CompositeBuffer{buf.inverter_type, std::max(1, buf.count - steps)});
       ++changed;
     }
   }
+  return changed;
+}
+
+int downsize_bottom_buffers(ClockTree& tree, int steps) {
+  TreeEditSession session(tree);
+  const int changed = downsize_bottom_buffers(session, steps);
+  session.commit();
   return changed;
 }
 

@@ -47,6 +47,15 @@ struct FlowOptions {
   /// sequence implied by the stage switches above.  Suite drivers bind this
   /// to the CONTANGO_PIPELINE env knob.
   std::string pipeline;
+
+  /// Evaluate IVC candidates through the incremental engine (persistent
+  /// RcNetlist + cached Elmore/transient state re-propagated along dirty
+  /// paths; analysis/evaluate.h) instead of re-extracting and re-simulating
+  /// the whole tree per candidate.  Results are bit-identical either way —
+  /// this switch exists for verification and benchmarking (suite drivers
+  /// bind it to the CONTANGO_INCREMENTAL env knob; 0 forces full
+  /// evaluation).
+  bool incremental = true;
 };
 
 /// Metrics recorded after each optimization stage (paper Table III rows).
@@ -69,6 +78,10 @@ struct PassTiming {
   double wall_seconds = 0.0;
   double cpu_seconds = 0.0;  ///< thread CPU time of the pass
   int sim_runs = 0;          ///< evaluations this pass spent
+  /// Split of `sim_runs` by evaluation mode: full-tree extractions +
+  /// propagations vs. incremental (dirty-path) re-propagations.
+  int full_evals = 0;
+  int incremental_evals = 0;
 };
 
 /// Full result of one Contango run.
@@ -80,6 +93,10 @@ struct FlowResult {
   PolarityFix polarity;
   CompositeBuffer buffer{0, 1};  ///< composite selected for insertion
   int sim_runs = 0;
+  /// Split of `sim_runs` by evaluation mode (sim_runs == full_evals +
+  /// incremental_evals); the Table V scaling bench reports both.
+  int full_evals = 0;
+  int incremental_evals = 0;
   double seconds = 0.0;
 
   /// The spec the flow actually ran (resolved_pipeline_spec of the options).

@@ -28,7 +28,36 @@ FlowContext::FlowContext(const Benchmark& bench_in, const FlowOptions& options_i
       eval(bench_in, options_in.eval),
       unit_(best_unit_composite(bench_in.tech)),
       unit_slew_cap_(
-          slew_free_cap(bench_in.tech, unit_, options_in.insertion.slew_margin)) {}
+          slew_free_cap(bench_in.tech, unit_, options_in.insertion.slew_margin)),
+      incremental_(eval),
+      use_incremental_(options_in.incremental) {}
+
+EvalResult FlowContext::evaluate_tree() {
+  if (!use_incremental_) return eval.evaluate(tree);
+  // `tree` is a member object, so its address is stable across the moves
+  // the construction passes and try_accept perform on its *contents*;
+  // wholesale content replacements invalidate through note_tree_mutated()/
+  // restore_saved().
+  if (incremental_.bound_tree() != &tree) incremental_.bind(tree);
+  return incremental_.evaluate();
+}
+
+TreeEditSession FlowContext::edit_session() {
+  if (!use_incremental_) return TreeEditSession(tree);
+  if (incremental_.bound_tree() != &tree) incremental_.bind(tree);
+  return TreeEditSession(tree, &incremental_.netlist());
+}
+
+void FlowContext::note_tree_mutated() {
+  if (incremental_.bound()) incremental_.invalidate_all();
+}
+
+void FlowContext::restore_saved(ClockTree&& saved_tree,
+                                const EvalResult& saved_eval) {
+  tree = std::move(saved_tree);
+  current_ = saved_eval;
+  note_tree_mutated();
+}
 
 void FlowContext::require_tree(const char* who) const {
   if (tree.size() > 0) return;
@@ -41,7 +70,7 @@ void FlowContext::require_tree(const char* who) const {
 void FlowContext::ensure_initial() {
   if (has_current_) return;
   require_tree("clock-network evaluation");
-  current_ = eval.evaluate(tree);
+  current_ = evaluate_tree();
   has_current_ = true;
   snapshot(unique_stage_name("INITIAL"));
 }
@@ -78,21 +107,40 @@ bool FlowContext::try_accept(ClockTree&& candidate, PassObjective objective) {
   if (improves && violation_ok(r)) {
     tree = std::move(candidate);
     current_ = r;
+    note_tree_mutated();  // wholesale replacement: rebuild, don't diff
     return true;
   }
   return false;
 }
 
+bool FlowContext::try_accept(TreeEditSession& session, PassObjective objective) {
+  const EvalResult r = evaluate_tree();
+  const bool improves = objective == PassObjective::kClr
+                            ? r.clr < current_.clr
+                            : r.nominal_skew < current_.nominal_skew;
+  if (improves && violation_ok(r)) {
+    session.commit();
+    current_ = r;
+    return true;
+  }
+  session.rollback();  // O(dirty): undo the journal, re-mark the stages
+  return false;
+}
+
 void FlowContext::refine(
     int max_rounds, PassObjective objective,
-    const std::function<int(ClockTree&, const EdgeSlacks&, double)>& round_fn) {
+    const std::function<int(TreeEditSession&, const EdgeSlacks&, double)>&
+        round_fn) {
   double scale = 1.0;
   int rejects = 0;
   for (int round = 0; round < max_rounds && rejects < 5; ++round) {
     const EdgeSlacks slacks = compute_edge_slacks(tree, current_);
-    ClockTree candidate = tree;  // SaveSolution
-    if (round_fn(candidate, slacks, scale) == 0) break;
-    if (try_accept(std::move(candidate), objective)) {
+    // SaveSolution as an edit journal: the round edits the incumbent in
+    // place; a rejected round rolls the journal back instead of restoring
+    // a whole-tree copy.
+    TreeEditSession session = edit_session();
+    if (round_fn(session, slacks, scale) == 0) break;
+    if (try_accept(session, objective)) {
       rejects = 0;
     } else {
       ++rejects;     // keep the saved solution,
@@ -346,6 +394,9 @@ class TbszPass : public Pass {
         0.8 * unit_slew_cap / ctx.bench.tech.wires.back().c_per_um;
 
     {
+      // Trunk sliding/interleaving rewrites the tree structurally
+      // (buffers are spliced out and re-inserted): still a whole-tree
+      // candidate.
       ClockTree candidate = ctx.tree;
       slide_and_interleave_trunk(candidate, ctx.bench, ctx.result.buffer,
                                  max_spacing);
@@ -354,20 +405,22 @@ class TbszPass : public Pass {
     const int iters = iters_ ? *iters_ : ctx.options.max_buffer_sizing_iters;
     for (int i = 1; i <= iters; ++i) {
       const double fraction = 1.0 / (i + 3);
-      ClockTree candidate = ctx.tree;
-      if (upsize_trunk_buffers(candidate, fraction) == 0) break;
-      if (!ctx.try_accept(std::move(candidate), PassObjective::kClr)) {
+      // Buffer resizes are pure edit deltas: only the resized buffers'
+      // stages re-simulate, and a rejected iteration rolls back O(dirty).
+      TreeEditSession session = ctx.edit_session();
+      if (upsize_trunk_buffers(session, fraction) == 0) break;
+      if (!ctx.try_accept(session, PassObjective::kClr)) {
         break;  // IVC fail: rollback and stop sizing
       }
     }
     {
       // Branch sizing pays for itself by borrowing bottom-level cap.
-      ClockTree candidate = ctx.tree;
-      upsize_branch_buffers(candidate,
+      TreeEditSession session = ctx.edit_session();
+      upsize_branch_buffers(session,
                             levels_ ? *levels_ : ctx.options.branch_levels,
                             0.25);
-      downsize_bottom_buffers(candidate, 1);
-      ctx.try_accept(std::move(candidate), PassObjective::kClr);
+      downsize_bottom_buffers(session, 1);
+      ctx.try_accept(session, PassObjective::kClr);
     }
   }
 
@@ -400,10 +453,10 @@ class TwszPass : public Pass {
     const double base_safety = params.safety;
     ctx.refine(rounds_ ? *rounds_ : ctx.options.max_sizing_rounds,
                PassObjective::kSkew,
-               [&](ClockTree& candidate, const EdgeSlacks& slacks,
+               [&](TreeEditSession& session, const EdgeSlacks& slacks,
                    double scale) {
                  params.safety = base_safety * scale;
-                 return wiresizing_round(candidate, slacks, params);
+                 return wiresizing_round(session, slacks, params);
                });
   }
 
@@ -440,10 +493,10 @@ class TwsnPass : public Pass {
     const double base_safety = params.safety;
     ctx.refine(rounds_ ? *rounds_ : ctx.options.max_snaking_rounds,
                PassObjective::kSkew,
-               [&](ClockTree& candidate, const EdgeSlacks& slacks,
+               [&](TreeEditSession& session, const EdgeSlacks& slacks,
                    double scale) {
                  params.safety = base_safety * scale;
-                 return wiresnaking_round(candidate, slacks, params);
+                 return wiresnaking_round(session, slacks, params);
                });
   }
 
@@ -481,10 +534,10 @@ class BwsnPass : public Pass {
     const double base_safety = params.safety;
     ctx.refine(rounds_ ? *rounds_ : ctx.options.max_bottom_rounds,
                PassObjective::kSkew,
-               [&](ClockTree& candidate, const EdgeSlacks& slacks,
+               [&](TreeEditSession& session, const EdgeSlacks& slacks,
                    double scale) {
                  params.safety = base_safety * scale;
-                 return bottom_level_round(candidate, slacks, params);
+                 return bottom_level_round(session, slacks, params);
                });
   }
 

@@ -32,6 +32,18 @@ namespace contango {
 /// back otherwise.  The Pipeline additionally wraps every optimization pass
 /// in a whole-pass rollback (a pass that somehow leaves the flow worse than
 /// it found it is undone uniformly).
+///
+/// Candidates come in two forms:
+///   * *edit deltas* (TreeEditSession, rctree/extract.h) — the refinement
+///     loops edit the incumbent tree in place through a journaled session;
+///     the evaluation re-simulates only the dirty stages (incremental
+///     engine, analysis/evaluate.h) and a rejected candidate rolls the
+///     journal back.  Accept/rollback is O(dirty), not O(tree).
+///   * whole-tree copies (the legacy path) — structural rewrites like
+///     trunk sliding still copy the tree; accepting one rebinds the
+///     incremental engine.
+/// Both paths produce bit-identical evaluations; FlowOptions::incremental
+/// (CONTANGO_INCREMENTAL) forces the full evaluator for verification.
 
 /// What an optimization pass tries to improve; the IVC gate compares
 /// candidates against the incumbent on this axis.  kNone marks construction
@@ -110,38 +122,73 @@ class FlowContext {
   /// already-violating network must still be allowed to improve).
   bool violation_ok(const EvalResult& candidate) const;
 
-  /// \brief The central Improvement- & Violation-Checking gate.
+  /// \brief The central Improvement- & Violation-Checking gate
+  /// (whole-tree-copy form).
   ///
   /// Evaluates `candidate` (one simulation run) and accepts it — moving it
   /// into `tree` and updating current() — only when `objective` strictly
   /// improves and violation_ok() holds.  Returns whether the candidate was
   /// accepted; a rejected candidate is discarded (SaveSolution semantics:
-  /// the incumbent tree was never touched).
+  /// the incumbent tree was never touched).  Accepting rebinds the
+  /// incremental engine (the tree was replaced wholesale).
   /// \pre objective is kSkew or kClr and has_current()
   bool try_accept(ClockTree&& candidate, PassObjective objective);
+
+  /// \brief The same gate over an edit-delta candidate.
+  ///
+  /// `session` has already applied its edits to `tree` (and marked the
+  /// touched stages dirty).  Evaluates the edited tree — incrementally
+  /// when enabled, re-propagating only along dirty paths — and either
+  /// commits the session (accept) or rolls its journal back (reject),
+  /// leaving the incumbent bit-identical to before the session.
+  /// \pre objective is kSkew or kClr, has_current(), session.can_rollback()
+  bool try_accept(TreeEditSession& session, PassObjective objective);
+
+  /// Begins an edit session on `tree`, wired to the incremental engine
+  /// when enabled.  \pre has_current() (the engine binds at ensure_initial)
+  TreeEditSession edit_session();
 
   /// Restores a previously read current() evaluation — the Pipeline's
   /// whole-pass rollback uses this together with a saved tree copy.  No
   /// simulation runs.
   void restore_current(const EvalResult& saved) { current_ = saved; }
 
-  /// One round of an IVC-gated refinement loop: `round_fn(candidate,
-  /// slacks, scale)` edits a copy of the tree using the current edge slacks
-  /// and returns the number of edits (0 = nothing left to do).  Rounds that
-  /// fail the gate roll back and retry with `scale` shrunk by 0.4; the loop
-  /// ends after `max_rounds` rounds, five consecutive rejections, or an
-  /// empty round.  Shared by the TWSZ/TWSN/BWSN passes.
+  /// Whole-pass rollback: restores a saved tree + evaluation and
+  /// invalidates the incremental engine (the tree changed wholesale).
+  void restore_saved(ClockTree&& saved_tree, const EvalResult& saved_eval);
+
+  /// \brief Tells the context `tree` was mutated outside its gates.
+  ///
+  /// Construction passes (and anything else that edits `tree` directly)
+  /// leave the incremental engine stale; the Pipeline calls this after
+  /// every non-gated pass so the next evaluation rebuilds from scratch.
+  void note_tree_mutated();
+
+  /// One round of an IVC-gated refinement loop: `round_fn(session, slacks,
+  /// scale)` edits the tree in place through the session using the current
+  /// edge slacks and returns the number of edits (0 = nothing left to do).
+  /// Rounds that fail the gate roll back (O(dirty)) and retry with `scale`
+  /// shrunk by 0.4; the loop ends after `max_rounds` rounds, five
+  /// consecutive rejections, or an empty round.  Shared by the
+  /// TWSZ/TWSN/BWSN passes.
   void refine(int max_rounds, PassObjective objective,
-              const std::function<int(ClockTree&, const EdgeSlacks&, double)>&
-                  round_fn);
+              const std::function<int(TreeEditSession&, const EdgeSlacks&,
+                                      double)>& round_fn);
 
  private:
+  /// Evaluates `tree` through the configured engine (one simulation run):
+  /// the incremental evaluator when enabled (bound on first use), the full
+  /// evaluator otherwise.  Bit-identical either way.
+  EvalResult evaluate_tree();
+
   EvalResult current_;
   bool has_current_ = false;
   Timer timer_;
   CompositeBuffer unit_{0, 1};
   Ff unit_slew_cap_ = 0.0;
   std::map<std::string, int> stage_name_counts_;
+  IncrementalEvaluator incremental_;
+  bool use_incremental_ = true;
 };
 
 /// \brief One composable stage of the flow.

@@ -207,6 +207,8 @@ FlowResult Pipeline::run(const Benchmark& bench, const FlowOptions& options) {
 
     const std::string stage_name = ctx.unique_stage_name(pass->display_name());
     const int sims_before = ctx.eval.sim_runs();
+    const int full_before = ctx.eval.full_evals();
+    const int incremental_before = ctx.eval.incremental_evals();
     const double cpu_before = thread_cpu_seconds();
     Timer wall;
 
@@ -231,18 +233,24 @@ FlowResult Pipeline::run(const Benchmark& bench, const FlowOptions& options) {
       if (regressed || violates) {
         Log::info("contango[%s] %s: rolled back (objective regressed)",
                   bench.name.c_str(), stage_name.c_str());
-        ctx.tree = std::move(saved_tree);
-        ctx.restore_current(saved_eval);
+        ctx.restore_saved(std::move(saved_tree), saved_eval);
       }
       ctx.snapshot(stage_name);
     } else {
       pass->run(ctx);
+      // Construction passes mutate the tree outside the IVC gates; the
+      // incremental engine rebuilds at the next evaluation.
+      ctx.note_tree_mutated();
     }
 
-    ctx.result.pass_timings.push_back(
-        PassTiming{stage_name, wall.seconds(),
-                   thread_cpu_seconds() - cpu_before,
-                   ctx.eval.sim_runs() - sims_before});
+    PassTiming timing;
+    timing.name = stage_name;
+    timing.wall_seconds = wall.seconds();
+    timing.cpu_seconds = thread_cpu_seconds() - cpu_before;
+    timing.sim_runs = ctx.eval.sim_runs() - sims_before;
+    timing.full_evals = ctx.eval.full_evals() - full_before;
+    timing.incremental_evals = ctx.eval.incremental_evals() - incremental_before;
+    ctx.result.pass_timings.push_back(std::move(timing));
   }
 
   // Construction-only pipelines still end with a valid evaluation and the
@@ -253,6 +261,8 @@ FlowResult Pipeline::run(const Benchmark& bench, const FlowOptions& options) {
   result.tree = std::move(ctx.tree);
   result.eval = ctx.current();
   result.sim_runs = ctx.eval.sim_runs();
+  result.full_evals = ctx.eval.full_evals();
+  result.incremental_evals = ctx.eval.incremental_evals();
   result.seconds = ctx.timer().seconds();
   return result;
 }

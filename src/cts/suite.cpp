@@ -26,6 +26,21 @@ long SuiteReport::total_sim_runs() const {
   return total;
 }
 
+long SuiteReport::total_full_evals() const {
+  long total = 0;
+  for (const SuiteRun& r : runs) {
+    total += r.result.full_evals;
+    if (r.has_mc) total += r.mc.trials;  // every trial is a full CNE pass
+  }
+  return total;
+}
+
+long SuiteReport::total_incremental_evals() const {
+  long total = 0;
+  for (const SuiteRun& r : runs) total += r.result.incremental_evals;
+  return total;
+}
+
 double SuiteReport::cpu_seconds() const {
   double total = 0.0;
   for (const SuiteRun& r : runs) total += r.seconds;
@@ -84,6 +99,8 @@ std::string SuiteReport::to_json() const {
   w.kv("wall_seconds", wall_seconds);
   w.kv("process_cpu_seconds", process_cpu_seconds);
   w.kv("total_sim_runs", total_sim_runs());
+  w.kv("total_full_evals", total_full_evals());
+  w.kv("total_incremental_evals", total_incremental_evals());
   w.kv("all_ok", all_ok());
   w.key("runs");
   w.begin_array();
@@ -99,6 +116,8 @@ std::string SuiteReport::to_json() const {
     }
     w.kv("seconds", r.seconds);
     w.kv("sim_runs", static_cast<long>(r.result.sim_runs));
+    w.kv("full_evals", static_cast<long>(r.result.full_evals));
+    w.kv("incremental_evals", static_cast<long>(r.result.incremental_evals));
     w.kv("clr_ps", r.result.eval.clr);
     w.kv("skew_ps", r.result.eval.nominal_skew);
     w.kv("max_latency_ps", r.result.eval.max_latency);
@@ -116,6 +135,8 @@ std::string SuiteReport::to_json() const {
       w.kv("wall_seconds", p.wall_seconds);
       w.kv("cpu_seconds", p.cpu_seconds);
       w.kv("sim_runs", static_cast<long>(p.sim_runs));
+      w.kv("full_evals", static_cast<long>(p.full_evals));
+      w.kv("incremental_evals", static_cast<long>(p.incremental_evals));
       w.end_object();
     }
     w.end_array();
@@ -244,6 +265,8 @@ SuiteOptions suite_options_from_env(SuiteOptions base) {
     throw std::runtime_error("CONTANGO_THREADS=" + std::to_string(base.threads) +
                              " must be >= 0 (0 = hardware concurrency)");
   }
+  base.flow.incremental =
+      env_long_strict("CONTANGO_INCREMENTAL", base.flow.incremental ? 1 : 0) != 0;
   base.mc_trials =
       static_cast<int>(env_long_strict("CONTANGO_MC_TRIALS", base.mc_trials));
   if (base.mc_trials < 0) {

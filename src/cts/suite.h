@@ -96,6 +96,13 @@ struct SuiteReport {
   /// one per Monte-Carlo trial when the MC pass ran.
   long total_sim_runs() const;
 
+  /// Split of total_sim_runs() by evaluation mode: full-tree extractions +
+  /// propagations (synthesis full evals + every MC trial) vs. incremental
+  /// dirty-path re-propagations.  The Table V sweep tracks the full-eval
+  /// drop the incremental engine buys.
+  long total_full_evals() const;
+  long total_incremental_evals() const;
+
   /// Sum of per-run wall times.  Each run's wall time includes time its
   /// worker spent descheduled, so on an oversubscribed machine this
   /// overstates the serial-equivalent cost — prefer `process_cpu_seconds`
@@ -146,6 +153,8 @@ SuiteReport run_suite_spec(const std::string& spec, std::uint64_t seed,
 ///
 ///   CONTANGO_THREADS         -> threads
 ///   CONTANGO_PIPELINE        -> pipeline_spec (cts/pipeline.h syntax)
+///   CONTANGO_INCREMENTAL     -> flow.incremental (0 forces full
+///                               evaluation per candidate; default 1)
 ///   CONTANGO_MC_TRIALS       -> mc_trials (0 keeps MC off)
 ///   CONTANGO_MC_SIGMA_VDD    -> variation.sigma_vdd (default 0.05)
 ///   CONTANGO_MC_SEED         -> variation.seed

@@ -68,9 +68,10 @@ Ps calibrate_tws(const ClockTree& tree, Evaluator& eval,
   return tws;
 }
 
-int wiresizing_round(ClockTree& tree, const EdgeSlacks& slacks,
+int wiresizing_round(TreeEditSession& session, const EdgeSlacks& slacks,
                      const WireSizingParams& params) {
   if (params.tws_per_um <= 0.0) return 0;
+  const ClockTree& tree = session.tree();
   int changed = 0;
 
   // Breadth-first with the consumed slack carried down (Algorithm 1's
@@ -89,13 +90,21 @@ int wiresizing_round(ClockTree& tree, const EdgeSlacks& slacks,
       if (est >= params.min_gain &&
           slack < std::numeric_limits<double>::max() &&
           params.safety * (slack - consumed) > est) {
-        tree.node(e.id).wire_width = 0;
+        session.set_wire_width(e.id, 0);
         consumed += est;
         ++changed;
       }
     }
     for (NodeId ch : tree.node(e.id).children) queue.push_back(Entry{ch, consumed});
   }
+  return changed;
+}
+
+int wiresizing_round(ClockTree& tree, const EdgeSlacks& slacks,
+                     const WireSizingParams& params) {
+  TreeEditSession session(tree);
+  const int changed = wiresizing_round(session, slacks, params);
+  session.commit();
   return changed;
 }
 

@@ -34,7 +34,12 @@ Ps calibrate_tws(const ClockTree& tree, Evaluator& eval,
 /// One top-down pass of Algorithm 1: walks the tree breadth-first carrying
 /// the already-consumed slack (RSlack) and downsizes every edge whose
 /// remaining slow-down slack exceeds the predicted latency increase.
-/// Returns the number of edges downsized.
+/// Edits go through the session (edit deltas, O(dirty) accept/rollback in
+/// the IVC loop).  Returns the number of edges downsized.
+int wiresizing_round(TreeEditSession& session, const EdgeSlacks& slacks,
+                     const WireSizingParams& params);
+
+/// Compatibility form over a bare tree (one throwaway session, committed).
 int wiresizing_round(ClockTree& tree, const EdgeSlacks& slacks,
                      const WireSizingParams& params);
 

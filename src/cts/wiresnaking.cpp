@@ -50,9 +50,10 @@ Ps calibrate_twn(const ClockTree& tree, Evaluator& eval,
   return twn;
 }
 
-int wiresnaking_round(ClockTree& tree, const EdgeSlacks& slacks,
+int wiresnaking_round(TreeEditSession& session, const EdgeSlacks& slacks,
                       const WireSnakingParams& params) {
   if (params.twn_per_unit <= 0.0) return 0;
+  const ClockTree& tree = session.tree();
   int changed = 0;
 
   struct Entry {
@@ -71,7 +72,7 @@ int wiresnaking_round(ClockTree& tree, const EdgeSlacks& slacks,
             static_cast<int>(std::floor(budget / params.twn_per_unit)), 0,
             params.max_units_per_edge);
         if (units > 0) {
-          tree.node(e.id).snake += units * params.unit;
+          session.add_snake(e.id, units * params.unit);
           consumed += units * params.twn_per_unit;
           ++changed;
         }
@@ -79,6 +80,14 @@ int wiresnaking_round(ClockTree& tree, const EdgeSlacks& slacks,
     }
     for (NodeId ch : tree.node(e.id).children) queue.push_back(Entry{ch, consumed});
   }
+  return changed;
+}
+
+int wiresnaking_round(ClockTree& tree, const EdgeSlacks& slacks,
+                      const WireSnakingParams& params) {
+  TreeEditSession session(tree);
+  const int changed = wiresnaking_round(session, slacks, params);
+  session.commit();
   return changed;
 }
 

@@ -29,7 +29,12 @@ struct WireSnakingParams {
 Ps calibrate_twn(const ClockTree& tree, Evaluator& eval,
                  const EvalResult& baseline, Um unit);
 
-/// One top-down snaking pass; returns the number of edges snaked.
+/// One top-down snaking pass over the session (edit deltas); returns the
+/// number of edges snaked.
+int wiresnaking_round(TreeEditSession& session, const EdgeSlacks& slacks,
+                      const WireSnakingParams& params);
+
+/// Compatibility form over a bare tree (one throwaway session, committed).
 int wiresnaking_round(ClockTree& tree, const EdgeSlacks& slacks,
                       const WireSnakingParams& params);
 

@@ -1,5 +1,6 @@
 #include "io/table.h"
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -17,6 +18,11 @@ void TextTable::add_row(std::vector<std::string> cells) {
 }
 
 std::string TextTable::num(double value, int precision) {
+  // Non-finite metrics (e.g. NaN percentiles of an empty Monte-Carlo
+  // sample set) render as "n/a": raw "inf"/"nan" cells break the
+  // fixed-width tables' downstream parsers (io/json already emits null
+  // for them).
+  if (!std::isfinite(value)) return "n/a";
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(precision);

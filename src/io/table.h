@@ -15,7 +15,8 @@ class TextTable {
   /// Adds one row; missing cells render empty, extra cells are an error.
   void add_row(std::vector<std::string> cells);
 
-  /// Formats a double with the given precision.
+  /// Formats a double with the given precision; non-finite values render
+  /// as "n/a" so tables stay machine-parseable.
   static std::string num(double value, int precision = 2);
 
   std::string to_string() const;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <limits>
 
 #include "cts/dme.h"
 #include "io/svg.h"
@@ -36,6 +37,16 @@ TEST(TextTable, NumFormatsPrecision) {
   EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
   EXPECT_EQ(TextTable::num(2.0, 0), "2");
   EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
+}
+
+TEST(TextTable, NonFiniteMetricsRenderAsNa) {
+  // Raw "inf"/"nan" cells break the suite tables' downstream parsers;
+  // io/json already emits null for non-finite doubles, the table path
+  // renders "n/a".
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(TextTable::num(inf, 2), "n/a");
+  EXPECT_EQ(TextTable::num(-inf, 2), "n/a");
+  EXPECT_EQ(TextTable::num(std::numeric_limits<double>::quiet_NaN(), 3), "n/a");
 }
 
 TEST(Svg, RendersAllElementClasses) {

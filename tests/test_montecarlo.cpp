@@ -136,6 +136,24 @@ TEST(Percentile, NearestRank) {
   EXPECT_THROW(percentile(xs, 101.0), std::invalid_argument);
 }
 
+TEST(Percentile, EmptySampleSetYieldsNaNNotOutOfBounds) {
+  // Regression: with no samples the nearest-rank index
+  // `min(rank, size) - 1` used to underflow to SIZE_MAX and read out of
+  // bounds (the mc_trials=0 summary path).  The total-function core now
+  // returns NaN for an empty set and clamps out-of-domain p.
+  EXPECT_TRUE(std::isnan(sorted_percentile({}, 50.0)));
+  EXPECT_TRUE(std::isnan(sorted_percentile({}, 0.0)));
+  EXPECT_TRUE(std::isnan(sorted_percentile({}, 100.0)));
+  const std::vector<double> one = {7.0};
+  EXPECT_EQ(sorted_percentile(one, 50.0), 7.0);
+  EXPECT_EQ(sorted_percentile(one, 0.0), 7.0);    // rank clamped up to 1
+  EXPECT_EQ(sorted_percentile(one, 200.0), 7.0);  // rank clamped down to n
+  // Out-of-domain p clamps *before* the float->index conversion (a
+  // negative or NaN rank cast to size_t would be UB, not just wrong).
+  EXPECT_EQ(sorted_percentile(one, -60.0), 7.0);
+  EXPECT_EQ(sorted_percentile(one, std::numeric_limits<double>::quiet_NaN()), 7.0);
+}
+
 TEST(VariationSampling, PureFunctionOfSeedAndTrial) {
   const Fixture f;
   const VariationModel model = typical_model();
