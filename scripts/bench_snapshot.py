@@ -1,18 +1,32 @@
 #!/usr/bin/env python3
-"""Record a Table-V scaling snapshot (the repo's perf-trajectory series).
+"""Record a perf-trajectory point from a bench run (Table IV/V/VI).
 
-Runs ``bench_table5_scaling`` with ``CONTANGO_JSON_OUT`` and copies the
-machine-readable suite report to ``BENCH_table5.json`` (checked in at the
-repo root, one point per PR that wants to claim a perf delta).  The report
-carries per-run wall seconds plus the full/incremental evaluation split,
-so release-over-release diffs show both what got faster and why.
+Runs the selected bench with ``CONTANGO_JSON_OUT`` and **appends** the
+machine-readable suite report to a checked-in trajectory file (default
+``BENCH_<bench>.json`` at the repo root).  Each PR that wants to claim a
+perf delta adds a labelled point; history is kept, so release-over-release
+diffs show both what got faster and why (wall seconds plus the
+full/incremental and batched/scalar evaluation splits ride along in every
+report).
+
+Trajectory file format::
+
+    {"type": "contango_bench_trajectory", "bench": "table5",
+     "points": [{"label": ..., "config": {...}, "report": {...}}, ...]}
+
+A pre-existing file in the old single-report format
+(``{"type": "contango_suite_report", ...}``) is migrated in place as the
+first point (label ``pre-trajectory``).  Re-running with an existing label
+replaces that point instead of duplicating it.
 
 Usage:
-    python3 scripts/bench_snapshot.py [--build-dir build] [--out BENCH_table5.json]
+    python3 scripts/bench_snapshot.py [--bench table4|table5|table6]
+                                      [--label pr6-batched]
+                                      [--build-dir build] [--out FILE]
                                       [--max-sinks 2000] [--threads 1]
-                                      [--force-full]
+                                      [--force-full] [--force-scalar]
 
-Exit status is non-zero when the bench fails or the report is malformed.
+Exit status is non-zero when the bench fails or a report is malformed.
 """
 
 import argparse
@@ -22,45 +36,101 @@ import pathlib
 import subprocess
 import sys
 
+BENCH_BINARIES = {
+    "table4": "bench_table4_contest",
+    "table5": "bench_table5_scaling",
+    "table6": "bench_table6_variation",
+}
+
+
+def load_trajectory(path: pathlib.Path, bench: str):
+    """Read an existing trajectory (migrating the legacy format), or start one."""
+    trajectory = {"type": "contango_bench_trajectory", "bench": bench, "points": []}
+    if not path.exists():
+        return trajectory
+    with open(path) as f:
+        existing = json.load(f)
+    if existing.get("type") == "contango_bench_trajectory":
+        if existing.get("bench") != bench:
+            raise ValueError(
+                f"{path} tracks bench {existing.get('bench')!r}, not {bench!r}")
+        trajectory["points"] = existing.get("points", [])
+    elif existing.get("type") == "contango_suite_report":
+        # Legacy layout: the file *was* the raw report. Keep it as history.
+        trajectory["points"] = [{"label": "pre-trajectory", "config": {},
+                                 "report": existing}]
+    else:
+        raise ValueError(f"{path}: unrecognized snapshot format")
+    return trajectory
+
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", choices=sorted(BENCH_BINARIES), default="table5",
+                        help="which bench driver to snapshot (default table5)")
+    parser.add_argument("--label", default="",
+                        help="point label (default: current git short hash)")
     parser.add_argument("--build-dir", default="build",
-                        help="CMake build directory holding bench_table5_scaling")
-    parser.add_argument("--out", default="BENCH_table5.json",
-                        help="where to write the snapshot (repo-root relative)")
+                        help="CMake build directory holding the bench binaries")
+    parser.add_argument("--out", default="",
+                        help="trajectory file (default BENCH_<bench>.json)")
     parser.add_argument("--max-sinks", type=int, default=2000,
-                        help="CONTANGO_MAX_SINKS for the sweep")
+                        help="CONTANGO_MAX_SINKS for the table5 sweep")
     parser.add_argument("--threads", type=int, default=1,
                         help="CONTANGO_THREADS (1 = serial, reproducible timing)")
     parser.add_argument("--force-full", action="store_true",
                         help="set CONTANGO_INCREMENTAL=0 (baseline comparison runs)")
+    parser.add_argument("--force-scalar", action="store_true",
+                        help="set CONTANGO_BATCH=0 (scalar-kernel comparison runs)")
     args = parser.parse_args()
 
     build_dir = pathlib.Path(args.build_dir)
-    bench = build_dir / "bench_table5_scaling"
+    bench = build_dir / BENCH_BINARIES[args.bench]
     if not bench.exists():
         print(f"bench_snapshot: {bench} not found — build the project first",
               file=sys.stderr)
         return 1
 
-    raw = build_dir / "table5_snapshot.json"
+    out = pathlib.Path(args.out or f"BENCH_{args.bench}.json")
+    label = args.label
+    if not label:
+        probe = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                               capture_output=True, text=True)
+        label = probe.stdout.strip() if probe.returncode == 0 else "snapshot"
+
+    raw = build_dir / f"{args.bench}_snapshot.json"
     env = dict(os.environ)
     env.update({
-        "CONTANGO_MAX_SINKS": str(args.max_sinks),
         "CONTANGO_THREADS": str(args.threads),
         "CONTANGO_JSON_OUT": str(raw),
-        "CONTANGO_MC_TRIALS": env.get("CONTANGO_MC_TRIALS", "0"),
     })
+    if args.bench == "table5":
+        env["CONTANGO_MAX_SINKS"] = str(args.max_sinks)
+    if args.bench != "table6":
+        # Timing points exclude the optional MC pass unless the caller
+        # exported CONTANGO_MC_TRIALS; table6 *is* the MC bench.
+        env.setdefault("CONTANGO_MC_TRIALS", "0")
     if args.force_full:
         env["CONTANGO_INCREMENTAL"] = "0"
+    if args.force_scalar:
+        env["CONTANGO_BATCH"] = "0"
+
+    config = {
+        "binary": BENCH_BINARIES[args.bench],
+        "threads": args.threads,
+        "incremental": not args.force_full,
+        "batch": not args.force_scalar,
+    }
+    if args.bench == "table5":
+        config["max_sinks"] = args.max_sinks
 
     print(f"bench_snapshot: running {bench} "
-          f"(max_sinks={args.max_sinks}, threads={args.threads}, "
-          f"incremental={'0' if args.force_full else env.get('CONTANGO_INCREMENTAL', '1')})")
+          f"(threads={args.threads}, incremental={int(config['incremental'])}, "
+          f"batch={int(config['batch'])})")
     result = subprocess.run([str(bench)], env=env)
     if result.returncode != 0:
-        print("bench_snapshot: bench_table5_scaling failed", file=sys.stderr)
+        print(f"bench_snapshot: {BENCH_BINARIES[args.bench]} failed",
+              file=sys.stderr)
         return result.returncode
 
     with open(raw) as f:
@@ -69,16 +139,27 @@ def main() -> int:
         print("bench_snapshot: malformed suite report", file=sys.stderr)
         return 1
 
-    with open(args.out, "w") as f:
-        json.dump(report, f, indent=1, sort_keys=False)
+    try:
+        trajectory = load_trajectory(out, args.bench)
+    except ValueError as e:
+        print(f"bench_snapshot: {e}", file=sys.stderr)
+        return 1
+    trajectory["points"] = [p for p in trajectory["points"]
+                            if p.get("label") != label]
+    trajectory["points"].append({"label": label, "config": config,
+                                 "report": report})
+
+    with open(out, "w") as f:
+        json.dump(trajectory, f, indent=1, sort_keys=False)
         f.write("\n")
 
-    total = report["total_sim_runs"]
-    full = report["total_full_evals"]
-    incremental = report["total_incremental_evals"]
-    print(f"bench_snapshot: wrote {args.out} — "
+    batched = report.get("total_batched_stage_evals", 0)
+    scalar = report.get("total_scalar_stage_evals", 0)
+    print(f"bench_snapshot: wrote point '{label}' to {out} "
+          f"({len(trajectory['points'])} point(s) total) — "
           f"{len(report['runs'])} run(s), {report['wall_seconds']:.1f} s wall, "
-          f"{total} sims ({full} full, {incremental} incremental)")
+          f"{report['total_sim_runs']} sims, "
+          f"kernel split {batched} batched / {scalar} scalar")
     return 0
 
 

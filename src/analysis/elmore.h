@@ -29,6 +29,11 @@ class ElmoreStage {
   /// excluding the driver resistance term.
   Ps tau(int rc) const { return tau_[static_cast<std::size_t>(rc)]; }
 
+  /// Contiguous per-node tau array (one entry per RC node).  The batched
+  /// transient kernel borrows cached sweeps through this instead of
+  /// re-running them per (corner x transition) combination.
+  const Ps* tau_data() const { return tau_.data(); }
+
   /// Total grounded capacitance of the stage.
   Ff total_cap() const { return total_cap_; }
 

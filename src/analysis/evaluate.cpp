@@ -84,10 +84,11 @@ DriverView stage_driver_view(const Stage& stage, const Technology& tech,
 /// Fans one stage's tap timings out: sink taps land in `corner` (source
 /// transition `t`), buffer taps pair with the stage's downstream entries
 /// in order and hand the child its input event through
-/// `schedule(child, event)`.
+/// `schedule(child, event)`.  `taps` points at stage.taps.size() entries —
+/// a row of a batched result or a scalar vector's data().
 template <typename ScheduleFn>
 void fan_out_taps(const Stage& stage, const StageEvent& ev, Transition out_dir,
-                  const std::vector<TapTiming>& taps, CornerTiming& corner,
+                  const TapTiming* taps, CornerTiming& corner,
                   int t, ScheduleFn&& schedule) {
   std::size_t next_stage = 0;
   for (std::size_t k = 0; k < stage.taps.size(); ++k) {
@@ -194,7 +195,7 @@ EvalResult evaluate_netlist(const StagedNetlist& net, const Benchmark& bench,
         const std::vector<TapTiming> taps =
             sim.simulate_stage(stage, drv.r_drv, drv.intrinsic, ev.slew);
 
-        fan_out_taps(stage, ev, out_dir, taps, corner, t,
+        fan_out_taps(stage, ev, out_dir, taps.data(), corner, t,
                      [&](int child, const StageEvent& e) {
                        events[static_cast<std::size_t>(child)] = e;
                        scheduled[static_cast<std::size_t>(child)] = 1;
@@ -202,6 +203,97 @@ EvalResult evaluate_netlist(const StagedNetlist& net, const Benchmark& bench,
       }
     }
     result.corners.push_back(std::move(corner));
+  }
+
+  aggregate_corners(result, bench);
+  return result;
+}
+
+EvalResult evaluate_netlist_batch(const StagedNetlist& net, const NetlistSoa& soa,
+                                  const Benchmark& bench,
+                                  const TransientSimulator& sim,
+                                  Ps source_input_slew,
+                                  const std::vector<Volt>* stage_vdd_delta,
+                                  TransientScratch* scratch) {
+  if (stage_vdd_delta && stage_vdd_delta->size() != net.stages.size()) {
+    throw std::invalid_argument("evaluate_netlist_batch: stage_vdd_delta size " +
+                                std::to_string(stage_vdd_delta->size()) +
+                                " != stage count " + std::to_string(net.stages.size()));
+  }
+  TransientScratch local_scratch;
+  if (!scratch) scratch = &local_scratch;
+
+  const std::size_t ns = net.stages.size();
+  const std::size_t nc = bench.tech.corners.size();
+  const std::size_t combos = nc * kNumTransitions;
+
+  EvalResult result;
+  result.corners.resize(nc);
+  for (std::size_t ci = 0; ci < nc; ++ci) {
+    result.corners[ci].vdd = bench.tech.corners[ci];
+    for (auto& per_transition : result.corners[ci].sinks) {
+      per_transition.assign(bench.sinks.size(), SinkTiming{});
+    }
+  }
+
+  // One propagation front per (corner x transition) combination, advanced
+  // stage-by-stage: combo c = ci * kNumTransitions + t owns the slice
+  // [c * ns, (c + 1) * ns) of `events`/`scheduled`.  Stages are created
+  // parent-before-child by extraction, so the forward sweep is a valid
+  // topological propagation for every combo at once, and each combo's
+  // event recurrence is exactly the scalar one.
+  std::vector<StageEvent> events(combos * ns);
+  std::vector<char> scheduled(combos * ns, 0);
+  for (std::size_t c = 0; c < combos && ns > 0; ++c) {
+    events[c * ns] = StageEvent{0.0, source_input_slew,
+                                static_cast<Transition>(c % kNumTransitions)};
+    scheduled[c * ns] = 1;
+  }
+
+  std::vector<BatchDrive> drives(combos);
+  std::vector<Transition> out_dirs(combos);
+  std::vector<TapTiming> taps;
+
+  for (std::size_t si = 0; si < ns; ++si) {
+    const Stage& stage = net.stages[si];
+
+    // Gather every combo's driver view, then sweep them through the batch
+    // kernel in combo order — the same per-combo arithmetic the scalar
+    // path runs, sharing the stage's conductances and Elmore sweep.
+    for (std::size_t ci = 0; ci < nc; ++ci) {
+      const Volt vdd = bench.tech.corners[ci];
+      for (int t = 0; t < kNumTransitions; ++t) {
+        const std::size_t c = ci * kNumTransitions + static_cast<std::size_t>(t);
+        if (!scheduled[c * ns + si]) {
+          throw std::logic_error(
+              "evaluate_netlist_batch: stage scheduled out of order");
+        }
+        const StageEvent& ev = events[c * ns + si];
+        const Transition out_dir = stage_output_dir(stage, ev.dir);
+        const Volt vdd_stage = stage_vdd_delta ? vdd + (*stage_vdd_delta)[si] : vdd;
+        const DriverView drv =
+            stage_driver_view(stage, bench.tech, vdd_stage, out_dir);
+        drives[c] = BatchDrive{drv.r_drv, drv.intrinsic, ev.slew};
+        out_dirs[c] = out_dir;
+      }
+    }
+
+    const std::size_t nt = stage.taps.size();
+    taps.resize(combos * nt);
+    sim.simulate_stage_batch(soa.view(static_cast<int>(si)), drives.data(),
+                             combos, taps.data(), *scratch);
+
+    for (std::size_t ci = 0; ci < nc; ++ci) {
+      for (int t = 0; t < kNumTransitions; ++t) {
+        const std::size_t c = ci * kNumTransitions + static_cast<std::size_t>(t);
+        fan_out_taps(stage, events[c * ns + si], out_dirs[c],
+                     taps.data() + c * nt, result.corners[ci], t,
+                     [&](int child, const StageEvent& e) {
+                       events[c * ns + static_cast<std::size_t>(child)] = e;
+                       scheduled[c * ns + static_cast<std::size_t>(child)] = 1;
+                     });
+      }
+    }
   }
 
   aggregate_corners(result, bench);
@@ -218,8 +310,20 @@ EvalResult Evaluator::evaluate(const ClockTree& tree) {
   sim_runs_.fetch_add(1, std::memory_order_relaxed);
   full_evals_.fetch_add(1, std::memory_order_relaxed);
   const StagedNetlist net = extract_stages(tree, bench_, options_.extract);
-  EvalResult result =
-      evaluate_netlist(net, bench_, sim_, options_.source_input_slew);
+  const long units = static_cast<long>(net.stages.size()) *
+                     static_cast<long>(bench_.tech.corners.size()) *
+                     kNumTransitions;
+  EvalResult result;
+  if (options_.batch) {
+    soa_.build(net);
+    result = evaluate_netlist_batch(net, soa_, bench_, sim_,
+                                    options_.source_input_slew, nullptr,
+                                    &scratch_);
+    batched_stage_evals_.fetch_add(units, std::memory_order_relaxed);
+  } else {
+    result = evaluate_netlist(net, bench_, sim_, options_.source_input_slew);
+    scalar_stage_evals_.fetch_add(units, std::memory_order_relaxed);
+  }
   account_capacitance(result, tree, bench_, sink_caps_);
   return result;
 }
@@ -244,63 +348,90 @@ EvalResult IncrementalEvaluator::evaluate() {
   const Benchmark& bench = eval_.bench_;
   const TransientSimulator& sim = eval_.sim_;
   const Ps source_input_slew = eval_.options_.source_input_slew;
+  const bool batch = eval_.options_.batch;
   const std::vector<int>& topo = net_.topo_slots();
-  const std::size_t combos = bench.tech.corners.size() * kNumTransitions;
+  const std::size_t nc = bench.tech.corners.size();
+  const std::size_t combos = nc * kNumTransitions;
+  const std::size_t slot_count = net_.slot_count();
 
-  if (timings_.size() < net_.slot_count()) timings_.resize(net_.slot_count());
+  if (timings_.size() < slot_count) timings_.resize(slot_count);
 
   EvalResult result;
+  result.corners.resize(nc);
+  for (std::size_t ci = 0; ci < nc; ++ci) {
+    result.corners[ci].vdd = bench.tech.corners[ci];
+    for (auto& per_transition : result.corners[ci].sinks) {
+      per_transition.assign(bench.sinks.size(), SinkTiming{});
+    }
+  }
 
   // Same StageEvent recurrence — and the same order of additions along
   // every root-to-sink path — as the full evaluate_netlist() propagation;
-  // all timing arithmetic goes through the shared helpers above.
-  std::vector<StageEvent> events(net_.slot_count());
-  std::vector<char> scheduled(net_.slot_count(), 0);
-
-  for (std::size_t ci = 0; ci < bench.tech.corners.size(); ++ci) {
-    const Volt vdd = bench.tech.corners[ci];
-    CornerTiming corner;
-    corner.vdd = vdd;
-    for (auto& per_transition : corner.sinks) {
-      per_transition.assign(bench.sinks.size(), SinkTiming{});
+  // all timing arithmetic goes through the shared helpers above.  The
+  // sweep is slot-outer with one propagation front per (corner x
+  // transition) combination (combo c owns the slice [c * slot_count,
+  // (c + 1) * slot_count) of `events`/`scheduled`), so a slot's cache
+  // misses across all combos can be gathered and handed to the batch
+  // kernel together.  Each combo's events depend only on upstream slots
+  // of the same combo and each cache entry belongs to exactly one combo,
+  // so reordering combos inside a slot changes no value — batched and
+  // scalar modes are bit-identical to each other and to the corner-outer
+  // sweep this replaces.
+  std::vector<StageEvent> events(combos * slot_count);
+  std::vector<char> scheduled(combos * slot_count, 0);
+  if (!topo.empty()) {
+    const auto root = static_cast<std::size_t>(topo.front());
+    for (std::size_t c = 0; c < combos; ++c) {
+      events[c * slot_count + root] =
+          StageEvent{0.0, source_input_slew,
+                     static_cast<Transition>(c % kNumTransitions)};
+      scheduled[c * slot_count + root] = 1;
     }
+  }
 
-    for (int t = 0; t < kNumTransitions; ++t) {
-      const auto source_dir = static_cast<Transition>(t);
-      std::fill(scheduled.begin(), scheduled.end(), 0);
-      if (!topo.empty()) {
-        events[static_cast<std::size_t>(topo.front())] =
-            StageEvent{0.0, source_input_slew, source_dir};
-        scheduled[static_cast<std::size_t>(topo.front())] = 1;
-      }
+  for (const int slot : topo) {
+    const Stage& stage = net_.stage(slot);
+    const std::uint64_t version = net_.version(slot);
+    const auto s = static_cast<std::size_t>(slot);
 
-      for (const int slot : topo) {
+    std::vector<CachedTiming>& per_slot = timings_[s];
+    if (per_slot.size() != combos) per_slot.assign(combos, CachedTiming{});
+
+    miss_combos_.clear();
+    miss_drives_.clear();
+
+    for (std::size_t ci = 0; ci < nc; ++ci) {
+      const Volt vdd = bench.tech.corners[ci];
+      for (int t = 0; t < kNumTransitions; ++t) {
+        const std::size_t c = ci * kNumTransitions + static_cast<std::size_t>(t);
         // Same fail-fast invariant as the full propagation: the stage
         // graph (maintained across splits/merges/sweeps) must hand every
         // slot its event before the slot is processed — a repair bug must
         // throw, not return plausible timings from a zero event.
-        if (!scheduled[static_cast<std::size_t>(slot)]) {
+        if (!scheduled[c * slot_count + s]) {
           throw std::logic_error(
               "IncrementalEvaluator: stage scheduled out of order");
         }
-        const Stage& stage = net_.stage(slot);
-        const StageEvent ev = events[static_cast<std::size_t>(slot)];
-        const Transition out_dir = stage_output_dir(stage, ev.dir);
+        const StageEvent& ev = events[c * slot_count + s];
+        CachedTiming& entry = per_slot[c];
 
-        std::vector<CachedTiming>& per_slot = timings_[static_cast<std::size_t>(slot)];
-        if (per_slot.size() != combos) per_slot.assign(combos, CachedTiming{});
-        CachedTiming& entry = per_slot[ci * kNumTransitions + static_cast<std::size_t>(t)];
-
-        // Reuse is allowed exactly when every input of simulate_stage()
+        // Reuse is allowed exactly when every input of the simulation
         // matches the cached call: same stage contents (version), same
         // input direction (fixes r_drv via out_dir) and bit-equal input
         // slew.  The corner and transition are part of the cache key.
-        const std::uint64_t version = net_.version(slot);
         if (entry.version != version || entry.in_dir != ev.dir ||
             entry.in_slew != ev.slew) {
+          const Transition out_dir = stage_output_dir(stage, ev.dir);
           const DriverView drv = stage_driver_view(stage, bench.tech, vdd, out_dir);
-          entry.taps = sim.simulate_stage(stage, drv.r_drv, drv.intrinsic, ev.slew,
-                                          &elmore_.get(slot, version, stage));
+          if (batch) {
+            miss_combos_.push_back(static_cast<int>(c));
+            miss_drives_.push_back(BatchDrive{drv.r_drv, drv.intrinsic, ev.slew});
+          } else {
+            entry.taps = sim.simulate_stage(stage, drv.r_drv, drv.intrinsic,
+                                            ev.slew,
+                                            &elmore_.get(slot, version, stage));
+            eval_.scalar_stage_evals_.fetch_add(1, std::memory_order_relaxed);
+          }
           entry.version = version;
           entry.in_dir = ev.dir;
           entry.in_slew = ev.slew;
@@ -308,15 +439,51 @@ EvalResult IncrementalEvaluator::evaluate() {
         } else {
           ++stage_reuses_;
         }
+      }
+    }
 
-        fan_out_taps(stage, ev, out_dir, entry.taps, corner, t,
+    // Sweep all of this slot's cache misses through the batch kernel in
+    // combo order, borrowing the cached Elmore sweep — the same inputs the
+    // scalar path hands simulate_stage(), through the same integrator core.
+    if (batch && !miss_combos_.empty()) {
+      const ElmoreStage& elm = elmore_.get(slot, version, stage);
+      const ElmoreView borrowed{elm.tau_data(), elm.total_cap()};
+      const std::size_t nt = stage.taps.size();
+      if (miss_combos_.size() == 1) {
+        // Single miss (the warm-cache common case): the kernel writes the
+        // cache entry in place — no staging row, no copy.
+        CachedTiming& entry = per_slot[static_cast<std::size_t>(miss_combos_[0])];
+        entry.taps.resize(nt);
+        sim.simulate_stage_batch(net_.soa().view(slot), miss_drives_.data(), 1,
+                                 entry.taps.data(), scratch_, &borrowed);
+      } else {
+        miss_taps_.resize(miss_combos_.size() * nt);
+        sim.simulate_stage_batch(net_.soa().view(slot), miss_drives_.data(),
+                                 miss_combos_.size(), miss_taps_.data(),
+                                 scratch_, &borrowed);
+        for (std::size_t m = 0; m < miss_combos_.size(); ++m) {
+          CachedTiming& entry = per_slot[static_cast<std::size_t>(miss_combos_[m])];
+          entry.taps.assign(
+              miss_taps_.begin() + static_cast<std::ptrdiff_t>(m * nt),
+              miss_taps_.begin() + static_cast<std::ptrdiff_t>((m + 1) * nt));
+        }
+      }
+      eval_.batched_stage_evals_.fetch_add(
+          static_cast<long>(miss_combos_.size()), std::memory_order_relaxed);
+    }
+
+    for (std::size_t ci = 0; ci < nc; ++ci) {
+      for (int t = 0; t < kNumTransitions; ++t) {
+        const std::size_t c = ci * kNumTransitions + static_cast<std::size_t>(t);
+        const StageEvent ev = events[c * slot_count + s];
+        fan_out_taps(stage, ev, stage_output_dir(stage, ev.dir),
+                     per_slot[c].taps.data(), result.corners[ci], t,
                      [&](int child, const StageEvent& e) {
-                       events[static_cast<std::size_t>(child)] = e;
-                       scheduled[static_cast<std::size_t>(child)] = 1;
+                       events[c * slot_count + static_cast<std::size_t>(child)] = e;
+                       scheduled[c * slot_count + static_cast<std::size_t>(child)] = 1;
                      });
       }
     }
-    result.corners.push_back(std::move(corner));
   }
 
   aggregate_corners(result, bench);

@@ -58,6 +58,15 @@ struct EvalOptions {
   ExtractOptions extract;
   TransientOptions transient;
   Ps source_input_slew = 10.0;  ///< transition time of the external clock
+
+  /// Run every CNE pass through the batched SoA kernel — one
+  /// simulate_stage_batch() call per stage covering all (corner x
+  /// transition) right-hand sides — instead of one scalar simulate_stage()
+  /// call per combination.  Results are bit-identical either way (the two
+  /// paths share one integrator core); this switch exists for verification
+  /// and benchmarking.  Suite drivers bind it to the CONTANGO_BATCH env
+  /// knob; 0 forces the scalar path, mirroring CONTANGO_INCREMENTAL=0.
+  bool batch = true;
 };
 
 struct VariationModel;  // analysis/variation.h
@@ -80,6 +89,29 @@ struct McReport;        // analysis/montecarlo.h
 EvalResult evaluate_netlist(const StagedNetlist& net, const Benchmark& bench,
                             const TransientSimulator& sim, Ps source_input_slew,
                             const std::vector<Volt>* stage_vdd_delta = nullptr);
+
+/// \brief Batched twin of evaluate_netlist(): one SoA kernel pass per stage
+/// for all (corner x transition) right-hand sides.
+///
+/// The propagation is restructured stage-outer: stages are visited once in
+/// topological order, every combination's input event is resolved (parents
+/// precede children, so all combinations of a stage's parent are already
+/// final), and simulate_stage_batch() sweeps the whole drive set over the
+/// stage's SoA slice — sharing the conductance array and Elmore sweep that
+/// the scalar path rebuilds per combination.  Every per-combination number
+/// comes out of the same integrator core on the same values, so the result
+/// is **bit-identical** to evaluate_netlist() on the same netlist.
+///
+/// \param soa SoA mirror of `net` with slot i == stage i (NetlistSoa::build,
+///        or a Monte-Carlo trial copy carrying perturbed values); `net`
+///        still supplies the topology/driver metadata.
+/// \param scratch optional reusable kernel workspace (per thread)
+EvalResult evaluate_netlist_batch(const StagedNetlist& net, const NetlistSoa& soa,
+                                  const Benchmark& bench,
+                                  const TransientSimulator& sim,
+                                  Ps source_input_slew,
+                                  const std::vector<Volt>* stage_vdd_delta = nullptr,
+                                  TransientScratch* scratch = nullptr);
 
 /// Fills `total_cap`/`cap_violation` of `result` — the capacitance half of
 /// CNE that evaluate_netlist() cannot compute (it needs the ClockTree).
@@ -125,10 +157,26 @@ class Evaluator {
   int incremental_evals() const {
     return incremental_evals_.load(std::memory_order_relaxed);
   }
+
+  /// Finer-grained work accounting in (stage x corner x transition) units:
+  /// transient stage simulations executed through the batched SoA kernel
+  /// vs. the scalar path, across evaluate(), IncrementalEvaluator and
+  /// evaluate_mc().  With `options().batch` (the default) the scalar count
+  /// stays 0 and vice versa — the suite report and the Table V/VI benches
+  /// surface the split.
+  long batched_stage_evals() const {
+    return batched_stage_evals_.load(std::memory_order_relaxed);
+  }
+  long scalar_stage_evals() const {
+    return scalar_stage_evals_.load(std::memory_order_relaxed);
+  }
+
   void reset_sim_runs() {
     sim_runs_.store(0, std::memory_order_relaxed);
     full_evals_.store(0, std::memory_order_relaxed);
     incremental_evals_.store(0, std::memory_order_relaxed);
+    batched_stage_evals_.store(0, std::memory_order_relaxed);
+    scalar_stage_evals_.store(0, std::memory_order_relaxed);
   }
 
   const Benchmark& benchmark() const { return bench_; }
@@ -146,6 +194,13 @@ class Evaluator {
   std::atomic<int> sim_runs_{0};
   std::atomic<int> full_evals_{0};
   std::atomic<int> incremental_evals_{0};
+  std::atomic<long> batched_stage_evals_{0};
+  std::atomic<long> scalar_stage_evals_{0};
+  /// Reusable batched-evaluation workspace: the SoA mirror rebuilt per
+  /// evaluate() (buffers recycled) and the kernel scratch.  evaluate() is
+  /// not concurrently reentrant — each suite worker owns its Evaluator.
+  NetlistSoa soa_;
+  TransientScratch scratch_;
 };
 
 /// \brief Incremental Clock-Network Evaluation over a persistent RcNetlist.
@@ -210,6 +265,13 @@ class IncrementalEvaluator {
   std::vector<std::vector<CachedTiming>> timings_;
   long stage_sims_ = 0;
   long stage_reuses_ = 0;
+  /// Batched-mode workspace: cache-missing combos of one slot are gathered
+  /// here and simulated in one simulate_stage_batch() sweep over the
+  /// netlist's SoA slice.
+  TransientScratch scratch_;
+  std::vector<BatchDrive> miss_drives_;
+  std::vector<int> miss_combos_;
+  std::vector<TapTiming> miss_taps_;
 };
 
 /// Effective driver resistance for a stage driver: applies supply-corner

@@ -54,6 +54,32 @@ void apply_variation(const StagedNetlist& base, const TrialVariation& v,
   }
 }
 
+/// SoA twin of apply_variation(): the same scale factors applied to the
+/// same elements in the same order (every adjustment is element-local, so
+/// the field-major layout changes no value) — a perturbed slice is
+/// bit-identical to the AoS scratch netlist's stage.
+void apply_variation_soa(const TrialVariation& v, NetlistSoa& soa,
+                         std::size_t num_stages) {
+  const double rs = v.wire_r_scale;
+  const double cs = v.wire_c_scale;
+  for (std::size_t si = 0; si < num_stages; ++si) {
+    NetlistSoa::Span s = soa.span(static_cast<int>(si));
+    for (std::size_t i = 0; i < s.num_nodes; ++i) {
+      s.res[i] *= rs;
+      s.cap[i] *= cs;
+    }
+    s.cap[0] += s.driver_pin_cap * (1.0 - cs);
+    for (std::size_t k = 0; k < s.num_taps; ++k) {
+      const double pin_scale =
+          s.tap_sink[k] >= 0
+              ? v.sink_cap_scale[static_cast<std::size_t>(s.tap_sink[k])]
+              : 1.0;
+      s.cap[static_cast<std::size_t>(s.tap_rc[k])] +=
+          s.tap_pin_cap[k] * (pin_scale - cs);
+    }
+  }
+}
+
 MetricSummary summarize(const StreamingStats& stats, std::vector<double> samples) {
   std::sort(samples.begin(), samples.end());  // one sort serves all ranks
   MetricSummary s;
@@ -125,9 +151,21 @@ McReport run_montecarlo(const Benchmark& bench, const ClockTree& tree,
     throw std::invalid_argument("run_montecarlo: empty clock tree");
   }
   const TransientSimulator sim(options.eval.transient);
+  const bool batch = options.eval.batch;
+
+  // Batched trials perturb a SoA copy of this base instead of an AoS
+  // scratch netlist; `base` keeps supplying topology and driver metadata.
+  NetlistSoa base_soa;
+  if (batch) base_soa.build(base);
 
   // Nominal (unperturbed) reference, including the capacitance gate.
-  report.nominal = evaluate_netlist(base, bench, sim, options.eval.source_input_slew);
+  if (batch) {
+    report.nominal = evaluate_netlist_batch(base, base_soa, bench, sim,
+                                            options.eval.source_input_slew);
+  } else {
+    report.nominal =
+        evaluate_netlist(base, bench, sim, options.eval.source_input_slew);
+  }
   std::vector<Ff> sink_caps;
   sink_caps.reserve(bench.sinks.size());
   for (const Sink& s : bench.sinks) sink_caps.push_back(s.cap);
@@ -138,6 +176,14 @@ McReport run_montecarlo(const Benchmark& bench, const ClockTree& tree,
   report.samples.assign(static_cast<std::size_t>(trials), McTrial{});
   std::vector<BlockStats> blocks(static_cast<std::size_t>(num_blocks));
 
+  // Trials plus the nominal reference, in stage-evaluation units.
+  const long eval_units = static_cast<long>(trials + 1) *
+                          static_cast<long>(base.stages.size()) *
+                          static_cast<long>(bench.tech.corners.size()) *
+                          kNumTransitions;
+  report.batched_stage_evals = batch ? eval_units : 0;
+  report.scalar_stage_evals = batch ? 0 : eval_units;
+
   // Trials are embarrassingly parallel: each writes its own slot, draws
   // from its own substream, and accumulates into its block's stats.  Blocks
   // are handed out dynamically; determinism comes from the fixed
@@ -146,15 +192,26 @@ McReport run_montecarlo(const Benchmark& bench, const ClockTree& tree,
   parallel_for(num_blocks, report.threads, [&](int b) {
     BlockStats& block = blocks[static_cast<std::size_t>(b)];
     StagedNetlist scratch;
+    NetlistSoa trial_soa;
+    TransientScratch sim_scratch;
     const int begin = b * kTrialsPerBlock;
     const int end = std::min(begin + kTrialsPerBlock, trials);
     for (int trial = begin; trial < end; ++trial) {
       const TrialVariation v = sample_trial(model, bench.tech, trial,
                                             base.stages.size(), bench.sinks.size());
-      apply_variation(base, v, scratch);
-      const EvalResult eval =
-          evaluate_netlist(scratch, bench, sim, options.eval.source_input_slew,
-                           &v.stage_vdd_delta);
+      EvalResult eval;
+      if (batch) {
+        trial_soa = base_soa;  // copy-assign reuses block-local buffers
+        apply_variation_soa(v, trial_soa, base.stages.size());
+        eval = evaluate_netlist_batch(base, trial_soa, bench, sim,
+                                      options.eval.source_input_slew,
+                                      &v.stage_vdd_delta, &sim_scratch);
+      } else {
+        apply_variation(base, v, scratch);
+        eval = evaluate_netlist(scratch, bench, sim,
+                                options.eval.source_input_slew,
+                                &v.stage_vdd_delta);
+      }
       McTrial& t = report.samples[static_cast<std::size_t>(trial)];
       t.skew = eval.nominal_skew;
       t.clr = eval.clr;
@@ -210,6 +267,10 @@ McReport Evaluator::evaluate_mc(const ClockTree& tree, int trials,
   // budget (and the full-propagation tally) like any other evaluation.
   sim_runs_.fetch_add(trials, std::memory_order_relaxed);
   full_evals_.fetch_add(trials, std::memory_order_relaxed);
+  batched_stage_evals_.fetch_add(report.batched_stage_evals,
+                                 std::memory_order_relaxed);
+  scalar_stage_evals_.fetch_add(report.scalar_stage_evals,
+                                std::memory_order_relaxed);
   return report;
 }
 
@@ -244,6 +305,8 @@ std::string McReport::to_json(bool with_samples) const {
   w.kv("yield", yield);
   w.kv("legal_fraction", legal_fraction);
   w.kv("wall_seconds", wall_seconds);
+  w.kv("batched_stage_evals", batched_stage_evals);
+  w.kv("scalar_stage_evals", scalar_stage_evals);
   if (with_samples) {
     w.key("samples");
     w.begin_array();

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <optional>
 
 #include "analysis/elmore.h"
 #include "util/units.h"
@@ -16,109 +15,203 @@ std::vector<TapTiming> TransientSimulator::simulate_stage(
   std::vector<TapTiming> result(stage.taps.size());
   if (n == 0) return result;
 
-  // Characteristic time constant for timestep selection and the stop guard.
-  std::optional<ElmoreStage> local;
-  if (!elmore) elmore = &local.emplace(stage);
-  Ps max_tau = 0.0;
-  for (const Tap& tap : stage.taps) max_tau = std::max(max_tau, elmore->tau(tap.rc_index));
-  const Ps tau_char = std::max(r_drv * elmore->total_cap() + max_tau, 0.5);
-
-  // Driver source waveform: delay then linear ramp (normalized 0 -> 1).
-  const Ps t0 = intrinsic + options_.slew_to_delay * input_slew;
-  const Ps ramp = options_.ramp_base + options_.slew_feedthrough * input_slew;
-  auto source = [&](Ps t) {
-    if (t <= t0) return 0.0;
-    if (t >= t0 + ramp) return 1.0;
-    return (t - t0) / ramp;
-  };
-
-  const Ps h = std::clamp(std::min(tau_char / options_.time_step_div, ramp / 4.0),
-                          options_.min_step, options_.max_step);
-  const Ps t_stop = t0 + ramp + 40.0 * tau_char;
-
-  // Trapezoidal discretization:  (C/h + G/2) v+  =  (C/h) v - (G v)/2 + (b+ + b)/2.
-  // The LHS matrix is constant; factor it once with a leaf-to-root sweep.
-  const KOhm g_drv = 1.0 / std::max(r_drv, 1e-9);
-  std::vector<double> g(n, 0.0);  // conductance to parent
-  for (std::size_t i = 1; i < n; ++i) g[i] = 1.0 / std::max(stage.nodes[i].res, 1e-9);
-
-  std::vector<double> adiag(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) adiag[i] = stage.nodes[i].cap / h;
-  adiag[0] += g_drv / 2.0;
-  for (std::size_t i = 1; i < n; ++i) {
-    adiag[i] += g[i] / 2.0;
-    adiag[static_cast<std::size_t>(stage.nodes[i].parent)] += g[i] / 2.0;
+  // Pack the AoS stage into the thread-local scratch and run the shared
+  // batched core with a single drive.  The copies are bit-exact, so this
+  // wrapper returns exactly what the historical scalar integrator did.
+  thread_local TransientScratch scratch;
+  scratch.pack_cap.resize(n);
+  scratch.pack_res.resize(n);
+  scratch.pack_parent.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.pack_cap[i] = stage.nodes[i].cap;
+    scratch.pack_res[i] = stage.nodes[i].res;
+    scratch.pack_parent[i] = stage.nodes[i].parent;
   }
-  // Cholesky-style tree elimination: children have larger indices.
-  std::vector<double> mult(n, 0.0);
-  for (std::size_t i = n; i-- > 1;) {
-    mult[i] = (g[i] / 2.0) / adiag[i];
-    adiag[static_cast<std::size_t>(stage.nodes[i].parent)] -= (g[i] / 2.0) * mult[i];
-  }
-
-  std::vector<double> v(n, 0.0), rhs(n, 0.0), gv(n, 0.0);
-
-  // Threshold bookkeeping per tap.
-  constexpr double kTh10 = 0.1, kTh50 = 0.5, kTh90 = 0.9;
-  struct Crossings {
-    double t10 = -1.0, t50 = -1.0, t90 = -1.0;
-  };
-  std::vector<Crossings> cross(stage.taps.size());
-  std::vector<double> tap_prev(stage.taps.size(), 0.0);
-
-  std::size_t pending = stage.taps.size();
-  Ps t = 0.0;
-  while (pending > 0 && t < t_stop) {
-    // rhs = (C/h) v - (G v)/2 + (b(t) + b(t+h))/2.
-    std::fill(gv.begin(), gv.end(), 0.0);
-    gv[0] = g_drv * v[0];
-    for (std::size_t i = 1; i < n; ++i) {
-      const auto p = static_cast<std::size_t>(stage.nodes[i].parent);
-      const double flow = g[i] * (v[i] - v[p]);
-      gv[i] += flow;
-      gv[p] -= flow;
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      rhs[i] = (stage.nodes[i].cap / h) * v[i] - gv[i] / 2.0;
-    }
-    rhs[0] += g_drv * (source(t) + source(t + h)) / 2.0;
-
-    // Forward elimination (leaves to root), then back-substitution.
-    for (std::size_t i = n; i-- > 1;) {
-      rhs[static_cast<std::size_t>(stage.nodes[i].parent)] += mult[i] * rhs[i];
-    }
-    v[0] = rhs[0] / adiag[0];
-    for (std::size_t i = 1; i < n; ++i) {
-      v[i] = (rhs[i] + (g[i] / 2.0) * v[static_cast<std::size_t>(stage.nodes[i].parent)]) / adiag[i];
-    }
-
-    const Ps t_next = t + h;
-    for (std::size_t k = 0; k < stage.taps.size(); ++k) {
-      Crossings& c = cross[k];
-      if (c.t90 >= 0.0) continue;
-      const double prev = tap_prev[k];
-      const double now = v[static_cast<std::size_t>(stage.taps[k].rc_index)];
-      auto interp = [&](double th) { return t + h * (th - prev) / std::max(now - prev, 1e-12); };
-      if (c.t10 < 0.0 && now >= kTh10) c.t10 = interp(kTh10);
-      if (c.t50 < 0.0 && now >= kTh50) c.t50 = interp(kTh50);
-      if (c.t90 < 0.0 && now >= kTh90) {
-        c.t90 = interp(kTh90);
-        --pending;
-      }
-      tap_prev[k] = now;
-    }
-    t = t_next;
-  }
-
+  scratch.pack_tap_rc.resize(stage.taps.size());
   for (std::size_t k = 0; k < stage.taps.size(); ++k) {
-    Crossings& c = cross[k];
-    if (c.t10 < 0.0) c.t10 = t_stop;
-    if (c.t50 < 0.0) c.t50 = t_stop;
-    if (c.t90 < 0.0) c.t90 = t_stop;
-    result[k].delay = c.t50;
-    result[k].slew = c.t90 - c.t10;
+    scratch.pack_tap_rc[k] = stage.taps[k].rc_index;
+  }
+
+  NetlistSoa::View view;
+  view.cap = scratch.pack_cap.data();
+  view.res = scratch.pack_res.data();
+  view.parent = scratch.pack_parent.data();
+  view.num_nodes = n;
+  view.tap_rc = scratch.pack_tap_rc.data();
+  view.num_taps = stage.taps.size();
+
+  const BatchDrive drive{r_drv, intrinsic, input_slew};
+  if (elmore) {
+    const ElmoreView borrowed{elmore->tau_data(), elmore->total_cap()};
+    simulate_stage_batch(view, &drive, 1, result.data(), scratch, &borrowed);
+  } else {
+    simulate_stage_batch(view, &drive, 1, result.data(), scratch, nullptr);
   }
   return result;
+}
+
+void TransientSimulator::simulate_stage_batch(
+    const NetlistSoa::View& stage, const BatchDrive* drives, std::size_t count,
+    TapTiming* out, TransientScratch& scratch, const ElmoreView* elmore) const {
+  const std::size_t n = stage.num_nodes;
+  const std::size_t nt = stage.num_taps;
+  for (std::size_t i = 0; i < count * nt; ++i) out[i] = TapTiming{};
+  if (n == 0 || count == 0) return;
+
+  const Ff* cap = stage.cap;
+  const int* parent = stage.parent;
+
+  // --- drive-independent stage data, computed once per batch ------------
+
+  // Conductance to parent.
+  scratch.g.assign(n, 0.0);
+  for (std::size_t i = 1; i < n; ++i) {
+    scratch.g[i] = 1.0 / std::max(stage.res[i], 1e-9);
+  }
+  const double* g = scratch.g.data();
+
+  // Elmore sweep for timestep selection and the stop guard — borrowed from
+  // the caller's cache, or rebuilt here with exactly the ElmoreStage
+  // accumulation order (one reverse cdown/total sweep, one forward tau
+  // sweep), so both paths produce identical bits.
+  const Ps* tau = nullptr;
+  Ff total_cap = 0.0;
+  if (elmore) {
+    tau = elmore->tau;
+    total_cap = elmore->total_cap;
+  } else {
+    scratch.cdown.assign(n, 0.0);
+    scratch.tau.assign(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+      scratch.cdown[i] += cap[i];
+      if (parent[i] >= 0) {
+        scratch.cdown[static_cast<std::size_t>(parent[i])] += scratch.cdown[i];
+      }
+      total_cap += cap[i];
+    }
+    for (std::size_t i = 1; i < n; ++i) {
+      scratch.tau[i] = scratch.tau[static_cast<std::size_t>(parent[i])] +
+                       stage.res[i] * scratch.cdown[i];
+    }
+    tau = scratch.tau.data();
+  }
+  Ps max_tau = 0.0;
+  for (std::size_t k = 0; k < nt; ++k) {
+    max_tau = std::max(max_tau, tau[static_cast<std::size_t>(stage.tap_rc[k])]);
+  }
+
+  // --- per-drive integration, back-to-back over the cached stage --------
+  for (std::size_t b = 0; b < count; ++b) {
+    const KOhm r_drv = drives[b].r_drv;
+    const Ps intrinsic = drives[b].intrinsic;
+    const Ps input_slew = drives[b].input_slew;
+    TapTiming* result = out + b * nt;
+
+    const Ps tau_char = std::max(r_drv * total_cap + max_tau, 0.5);
+
+    // Driver source waveform: delay then linear ramp (normalized 0 -> 1).
+    const Ps t0 = intrinsic + options_.slew_to_delay * input_slew;
+    const Ps ramp = options_.ramp_base + options_.slew_feedthrough * input_slew;
+    auto source = [&](Ps t) {
+      if (t <= t0) return 0.0;
+      if (t >= t0 + ramp) return 1.0;
+      return (t - t0) / ramp;
+    };
+
+    const Ps h = std::clamp(std::min(tau_char / options_.time_step_div, ramp / 4.0),
+                            options_.min_step, options_.max_step);
+    const Ps t_stop = t0 + ramp + 40.0 * tau_char;
+
+    // Trapezoidal discretization:
+    //   (C/h + G/2) v+  =  (C/h) v - (G v)/2 + (b+ + b)/2.
+    // The LHS matrix is constant per drive (h depends on the drive); factor
+    // it once with a leaf-to-root sweep.
+    const KOhm g_drv = 1.0 / std::max(r_drv, 1e-9);
+    scratch.adiag.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) scratch.adiag[i] = cap[i] / h;
+    scratch.adiag[0] += g_drv / 2.0;
+    for (std::size_t i = 1; i < n; ++i) {
+      scratch.adiag[i] += g[i] / 2.0;
+      scratch.adiag[static_cast<std::size_t>(parent[i])] += g[i] / 2.0;
+    }
+    // Cholesky-style tree elimination: children have larger indices.
+    scratch.mult.assign(n, 0.0);
+    for (std::size_t i = n; i-- > 1;) {
+      scratch.mult[i] = (g[i] / 2.0) / scratch.adiag[i];
+      scratch.adiag[static_cast<std::size_t>(parent[i])] -=
+          (g[i] / 2.0) * scratch.mult[i];
+    }
+    const double* adiag = scratch.adiag.data();
+    const double* mult = scratch.mult.data();
+
+    scratch.v.assign(n, 0.0);
+    scratch.rhs.assign(n, 0.0);
+    scratch.gv.assign(n, 0.0);
+    double* v = scratch.v.data();
+    double* rhs = scratch.rhs.data();
+    double* gv = scratch.gv.data();
+
+    // Threshold bookkeeping per tap.
+    constexpr double kTh10 = 0.1, kTh50 = 0.5, kTh90 = 0.9;
+    scratch.cross.assign(nt, TransientScratch::Crossings{});
+    scratch.tap_prev.assign(nt, 0.0);
+
+    std::size_t pending = nt;
+    Ps t = 0.0;
+    while (pending > 0 && t < t_stop) {
+      // rhs = (C/h) v - (G v)/2 + (b(t) + b(t+h))/2.
+      std::fill(scratch.gv.begin(), scratch.gv.end(), 0.0);
+      gv[0] = g_drv * v[0];
+      for (std::size_t i = 1; i < n; ++i) {
+        const auto p = static_cast<std::size_t>(parent[i]);
+        const double flow = g[i] * (v[i] - v[p]);
+        gv[i] += flow;
+        gv[p] -= flow;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        rhs[i] = (cap[i] / h) * v[i] - gv[i] / 2.0;
+      }
+      rhs[0] += g_drv * (source(t) + source(t + h)) / 2.0;
+
+      // Forward elimination (leaves to root), then back-substitution.
+      for (std::size_t i = n; i-- > 1;) {
+        rhs[static_cast<std::size_t>(parent[i])] += mult[i] * rhs[i];
+      }
+      v[0] = rhs[0] / adiag[0];
+      for (std::size_t i = 1; i < n; ++i) {
+        v[i] = (rhs[i] + (g[i] / 2.0) * v[static_cast<std::size_t>(parent[i])]) /
+               adiag[i];
+      }
+
+      const Ps t_next = t + h;
+      for (std::size_t k = 0; k < nt; ++k) {
+        TransientScratch::Crossings& c = scratch.cross[k];
+        if (c.t90 >= 0.0) continue;
+        const double prev = scratch.tap_prev[k];
+        const double now = v[static_cast<std::size_t>(stage.tap_rc[k])];
+        auto interp = [&](double th) {
+          return t + h * (th - prev) / std::max(now - prev, 1e-12);
+        };
+        if (c.t10 < 0.0 && now >= kTh10) c.t10 = interp(kTh10);
+        if (c.t50 < 0.0 && now >= kTh50) c.t50 = interp(kTh50);
+        if (c.t90 < 0.0 && now >= kTh90) {
+          c.t90 = interp(kTh90);
+          --pending;
+        }
+        scratch.tap_prev[k] = now;
+      }
+      t = t_next;
+    }
+
+    for (std::size_t k = 0; k < nt; ++k) {
+      TransientScratch::Crossings& c = scratch.cross[k];
+      if (c.t10 < 0.0) c.t10 = t_stop;
+      if (c.t50 < 0.0) c.t50 = t_stop;
+      if (c.t90 < 0.0) c.t90 = t_stop;
+      result[k].delay = c.t50;
+      result[k].slew = c.t90 - c.t10;
+    }
+  }
 }
 
 }  // namespace contango

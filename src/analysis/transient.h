@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "rctree/extract.h"
+#include "rctree/soa.h"
 
 namespace contango {
 
@@ -28,6 +29,48 @@ struct TransientOptions {
   Ps ramp_base = 2.0;             ///< minimum source ramp duration
 };
 
+/// One right-hand side of a batched stage simulation: the effective driver
+/// view plus the input slew of one (corner x transition) combination — or
+/// of one Monte-Carlo trial's combination.
+struct BatchDrive {
+  KOhm r_drv = 0.0;
+  Ps intrinsic = 0.0;
+  Ps input_slew = 0.0;
+};
+
+/// Borrowed Elmore sweep of a stage (tau per RC node + total cap), e.g. an
+/// ElmoreCache entry; lets the batch kernel skip its in-kernel sweep.
+struct ElmoreView {
+  const Ps* tau = nullptr;
+  Ff total_cap = 0.0;
+};
+
+/// Reusable workspace of the transient kernel: per-node factorization and
+/// state arrays plus per-tap threshold bookkeeping, grown on demand and
+/// recycled across stages, combos and trials so the hot loop never
+/// allocates.  Each thread needs its own instance.
+struct TransientScratch {
+  std::vector<double> g;      ///< conductance to parent (shared per stage)
+  std::vector<double> cdown;  ///< in-kernel Elmore sweep (when not borrowed)
+  std::vector<double> tau;
+  std::vector<double> adiag;  ///< per-combo factorization
+  std::vector<double> mult;
+  std::vector<double> v;      ///< per-combo integration state
+  std::vector<double> rhs;
+  std::vector<double> gv;
+  std::vector<double> tap_prev;
+  struct Crossings {
+    double t10 = -1.0, t50 = -1.0, t90 = -1.0;
+  };
+  std::vector<Crossings> cross;
+
+  // AoS -> SoA packing buffers of the scalar simulate_stage wrapper.
+  std::vector<Ff> pack_cap;
+  std::vector<KOhm> pack_res;
+  std::vector<int> pack_parent;
+  std::vector<int> pack_tap_rc;
+};
+
 /// SPICE-substitute engine: trapezoidal integration of each stage's RC tree
 /// with an O(n) sparse tree factorization per step.
 ///
@@ -44,6 +87,16 @@ struct TransientOptions {
 /// resistive shielding in long wires, slew propagation through stages, and
 /// the impact of slew on delay — the effects the paper lists as missing
 /// from closed-form models (section III-A).
+///
+/// The engine has one integrator core, simulate_stage_batch(): it reads the
+/// stage through a SoA view, hoists everything drive-independent — the
+/// conductance array, the Elmore sweep, the worst tap tau — out of the
+/// per-drive work, and then runs each drive's trapezoidal integration
+/// back-to-back over the same cached stage data.  simulate_stage() is the
+/// scalar wrapper: it packs the AoS stage into a thread-local scratch and
+/// runs the same core with a batch of one, so scalar and batched results
+/// are bit-identical by construction (same arithmetic, same order, same
+/// values — only the storage layout differs).
 class TransientSimulator {
  public:
   explicit TransientSimulator(TransientOptions options = {})
@@ -61,6 +114,21 @@ class TransientSimulator {
   std::vector<TapTiming> simulate_stage(const Stage& stage, KOhm r_drv,
                                         Ps intrinsic, Ps input_slew,
                                         const ElmoreStage* elmore = nullptr) const;
+
+  /// Batched integrator core: simulates `stage` once per entry of
+  /// `drives[0..count)`, writing `out[b * stage.num_taps + k]` for drive b,
+  /// tap k (the caller provides `count * stage.num_taps` slots).  The
+  /// stage's conductances and Elmore sweep are computed once and shared;
+  /// each drive's timestep, factorization and trapezoidal integration run
+  /// exactly the scalar arithmetic, so every row is bit-identical to the
+  /// simulate_stage() call with the same drive.
+  ///
+  /// `elmore` optionally borrows a prebuilt sweep (ElmoreCache entry built
+  /// from the same stage contents); null computes it in-kernel.
+  void simulate_stage_batch(const NetlistSoa::View& stage,
+                            const BatchDrive* drives, std::size_t count,
+                            TapTiming* out, TransientScratch& scratch,
+                            const ElmoreView* elmore = nullptr) const;
 
   const TransientOptions& options() const { return options_; }
 

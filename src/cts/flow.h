@@ -82,6 +82,11 @@ struct PassTiming {
   /// propagations vs. incremental (dirty-path) re-propagations.
   int full_evals = 0;
   int incremental_evals = 0;
+  /// Stage-evaluation units — (stage x corner x transition) transient
+  /// integrations — this pass spent, split by kernel path (batched SoA
+  /// sweeps vs. scalar simulate_stage calls; EvalOptions::batch).
+  long batched_stage_evals = 0;
+  long scalar_stage_evals = 0;
 };
 
 /// Full result of one Contango run.
@@ -97,6 +102,11 @@ struct FlowResult {
   /// incremental_evals); the Table V scaling bench reports both.
   int full_evals = 0;
   int incremental_evals = 0;
+  /// Stage-evaluation units spent over the whole flow, split by kernel
+  /// path (see PassTiming); with EvalOptions::batch on, scalar units stay
+  /// 0 and vice versa.
+  long batched_stage_evals = 0;
+  long scalar_stage_evals = 0;
   double seconds = 0.0;
 
   /// The spec the flow actually ran (resolved_pipeline_spec of the options).

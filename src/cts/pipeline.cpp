@@ -209,6 +209,8 @@ FlowResult Pipeline::run(const Benchmark& bench, const FlowOptions& options) {
     const int sims_before = ctx.eval.sim_runs();
     const int full_before = ctx.eval.full_evals();
     const int incremental_before = ctx.eval.incremental_evals();
+    const long batched_before = ctx.eval.batched_stage_evals();
+    const long scalar_before = ctx.eval.scalar_stage_evals();
     const double cpu_before = thread_cpu_seconds();
     Timer wall;
 
@@ -250,6 +252,8 @@ FlowResult Pipeline::run(const Benchmark& bench, const FlowOptions& options) {
     timing.sim_runs = ctx.eval.sim_runs() - sims_before;
     timing.full_evals = ctx.eval.full_evals() - full_before;
     timing.incremental_evals = ctx.eval.incremental_evals() - incremental_before;
+    timing.batched_stage_evals = ctx.eval.batched_stage_evals() - batched_before;
+    timing.scalar_stage_evals = ctx.eval.scalar_stage_evals() - scalar_before;
     ctx.result.pass_timings.push_back(std::move(timing));
   }
 
@@ -263,6 +267,8 @@ FlowResult Pipeline::run(const Benchmark& bench, const FlowOptions& options) {
   result.sim_runs = ctx.eval.sim_runs();
   result.full_evals = ctx.eval.full_evals();
   result.incremental_evals = ctx.eval.incremental_evals();
+  result.batched_stage_evals = ctx.eval.batched_stage_evals();
+  result.scalar_stage_evals = ctx.eval.scalar_stage_evals();
   result.seconds = ctx.timer().seconds();
   return result;
 }

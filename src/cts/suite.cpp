@@ -10,8 +10,11 @@
 #include "io/json.h"
 #include "io/table.h"
 #include "util/env.h"
+#include "util/log.h"
 #include "util/parallel.h"
 #include "util/timer.h"
+
+extern char** environ;
 
 namespace contango {
 
@@ -41,6 +44,24 @@ long SuiteReport::total_incremental_evals() const {
   return total;
 }
 
+long SuiteReport::total_batched_stage_evals() const {
+  long total = 0;
+  for (const SuiteRun& r : runs) {
+    total += r.result.batched_stage_evals;
+    if (r.has_mc) total += r.mc.batched_stage_evals;
+  }
+  return total;
+}
+
+long SuiteReport::total_scalar_stage_evals() const {
+  long total = 0;
+  for (const SuiteRun& r : runs) {
+    total += r.result.scalar_stage_evals;
+    if (r.has_mc) total += r.mc.scalar_stage_evals;
+  }
+  return total;
+}
+
 double SuiteReport::cpu_seconds() const {
   double total = 0.0;
   for (const SuiteRun& r : runs) total += r.seconds;
@@ -60,7 +81,7 @@ std::string SuiteReport::table() const {
 
   std::vector<std::string> headers = {"Benchmark", "Sinks",   "CLR, ps",
                                       "Skew, ps",  "Latency, ps", "Cap, pF",
-                                      "Sims",      "CPU, s"};
+                                      "Sims",      "Batched",     "CPU, s"};
   if (any_mc) {
     headers.insert(headers.end(),
                    {"MC skew u", "MC p95", "MC p99", "MC CLR p95", "Yield%"});
@@ -72,12 +93,15 @@ std::string SuiteReport::table() const {
                      "FAILED: " + r.error});
       continue;
     }
+    const long batched = r.result.batched_stage_evals +
+                         (r.has_mc ? r.mc.batched_stage_evals : 0);
     std::vector<std::string> row = {r.benchmark, std::to_string(r.num_sinks),
                                     TextTable::num(r.result.eval.clr, 2),
                                     TextTable::num(r.result.eval.nominal_skew, 3),
                                     TextTable::num(r.result.eval.max_latency, 1),
                                     TextTable::num(r.result.eval.total_cap / 1000.0, 2),
                                     std::to_string(r.result.sim_runs),
+                                    std::to_string(batched),
                                     TextTable::num(r.seconds, 1)};
     if (r.has_mc) {
       row.insert(row.end(), {TextTable::num(r.mc.skew.mean, 3),
@@ -101,6 +125,8 @@ std::string SuiteReport::to_json() const {
   w.kv("total_sim_runs", total_sim_runs());
   w.kv("total_full_evals", total_full_evals());
   w.kv("total_incremental_evals", total_incremental_evals());
+  w.kv("total_batched_stage_evals", total_batched_stage_evals());
+  w.kv("total_scalar_stage_evals", total_scalar_stage_evals());
   w.kv("all_ok", all_ok());
   w.key("runs");
   w.begin_array();
@@ -118,6 +144,8 @@ std::string SuiteReport::to_json() const {
     w.kv("sim_runs", static_cast<long>(r.result.sim_runs));
     w.kv("full_evals", static_cast<long>(r.result.full_evals));
     w.kv("incremental_evals", static_cast<long>(r.result.incremental_evals));
+    w.kv("batched_stage_evals", r.result.batched_stage_evals);
+    w.kv("scalar_stage_evals", r.result.scalar_stage_evals);
     w.kv("clr_ps", r.result.eval.clr);
     w.kv("skew_ps", r.result.eval.nominal_skew);
     w.kv("max_latency_ps", r.result.eval.max_latency);
@@ -137,6 +165,8 @@ std::string SuiteReport::to_json() const {
       w.kv("sim_runs", static_cast<long>(p.sim_runs));
       w.kv("full_evals", static_cast<long>(p.full_evals));
       w.kv("incremental_evals", static_cast<long>(p.incremental_evals));
+      w.kv("batched_stage_evals", p.batched_stage_evals);
+      w.kv("scalar_stage_evals", p.scalar_stage_evals);
       w.end_object();
     }
     w.end_array();
@@ -176,6 +206,8 @@ std::string SuiteReport::to_json() const {
       w.kv("max_latency_p95_ps", r.mc.max_latency.p95);
       w.kv("yield", r.mc.yield);
       w.kv("legal_fraction", r.mc.legal_fraction);
+      w.kv("batched_stage_evals", r.mc.batched_stage_evals);
+      w.kv("scalar_stage_evals", r.mc.scalar_stage_evals);
       w.end_object();
     }
     w.end_object();
@@ -259,7 +291,57 @@ SuiteReport run_suite_spec(const std::string& spec, std::uint64_t seed,
   return run_suite(collect_workloads(spec, seed), options);
 }
 
+std::vector<std::string> unknown_contango_env_vars() {
+  // Every CONTANGO_* knob read anywhere in the tree: the library
+  // (suite/env/log), the bench drivers and the examples.  Grep for
+  // "CONTANGO_" when adding a knob and extend this list — the
+  // unknown-env-var test fails loudly on a knob that warns about itself.
+  static const char* const kKnown[] = {
+      "CONTANGO_ABLATION_BENCHMARK",
+      "CONTANGO_BATCH",
+      "CONTANGO_FIG3_BENCHMARK",
+      "CONTANGO_INCREMENTAL",
+      "CONTANGO_JSON_OUT",
+      "CONTANGO_LOG",
+      "CONTANGO_MAX_SINKS",
+      "CONTANGO_MC_SEED",
+      "CONTANGO_MC_SIGMA_SINK",
+      "CONTANGO_MC_SIGMA_VDD",
+      "CONTANGO_MC_SIGMA_WIRE",
+      "CONTANGO_MC_SKEW_TARGET",
+      "CONTANGO_MC_TRIALS",
+      "CONTANGO_PIPELINE",
+      "CONTANGO_SCENARIO",
+      "CONTANGO_SEED",
+      "CONTANGO_TABLE3_BENCHMARKS",
+      "CONTANGO_TABLE4_BENCHMARKS",
+      "CONTANGO_THREADS",
+      "CONTANGO_WORKLOADS",
+  };
+  const std::string prefix = "CONTANGO_";
+  const std::string test_prefix = "CONTANGO_TEST_";
+  std::vector<std::string> unknown;
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    const std::string entry = *e;
+    const std::size_t eq = entry.find('=');
+    const std::string name = entry.substr(0, eq);  // npos -> whole entry
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(0, test_prefix.size(), test_prefix) == 0) continue;
+    bool known = false;
+    for (const char* k : kKnown) known = known || name == k;
+    if (!known) unknown.push_back(name);
+  }
+  return unknown;
+}
+
 SuiteOptions suite_options_from_env(SuiteOptions base) {
+  // A misspelled knob (CONTANGO_BATH=0) silently running the default
+  // configuration is worse than a crash in a benchmark harness — call the
+  // typo out, but keep going: the variable may belong to a future binary.
+  for (const std::string& name : unknown_contango_env_vars()) {
+    Log::warn("unrecognized environment variable %s (knob typo?)",
+              name.c_str());
+  }
   base.threads = static_cast<int>(env_long_strict("CONTANGO_THREADS", base.threads));
   if (base.threads < 0) {
     throw std::runtime_error("CONTANGO_THREADS=" + std::to_string(base.threads) +
@@ -267,6 +349,8 @@ SuiteOptions suite_options_from_env(SuiteOptions base) {
   }
   base.flow.incremental =
       env_long_strict("CONTANGO_INCREMENTAL", base.flow.incremental ? 1 : 0) != 0;
+  base.flow.eval.batch =
+      env_long_strict("CONTANGO_BATCH", base.flow.eval.batch ? 1 : 0) != 0;
   base.mc_trials =
       static_cast<int>(env_long_strict("CONTANGO_MC_TRIALS", base.mc_trials));
   if (base.mc_trials < 0) {

@@ -103,6 +103,14 @@ struct SuiteReport {
   long total_full_evals() const;
   long total_incremental_evals() const;
 
+  /// Stage-evaluation units — (stage x corner x transition) transient
+  /// integrations — spent across all runs (synthesis plus Monte-Carlo),
+  /// split by kernel path: batched SoA sweeps vs. scalar simulate_stage
+  /// calls.  With EvalOptions::batch on (the default) the scalar total is
+  /// 0 and vice versa; the batch-smoke CI job asserts exactly that.
+  long total_batched_stage_evals() const;
+  long total_scalar_stage_evals() const;
+
   /// Sum of per-run wall times.  Each run's wall time includes time its
   /// worker spent descheduled, so on an oversubscribed machine this
   /// overstates the serial-equivalent cost — prefer `process_cpu_seconds`
@@ -155,6 +163,9 @@ SuiteReport run_suite_spec(const std::string& spec, std::uint64_t seed,
 ///   CONTANGO_PIPELINE        -> pipeline_spec (cts/pipeline.h syntax)
 ///   CONTANGO_INCREMENTAL     -> flow.incremental (0 forces full
 ///                               evaluation per candidate; default 1)
+///   CONTANGO_BATCH           -> flow.eval.batch (0 forces the scalar
+///                               transient kernel; default 1, results are
+///                               bit-identical either way)
 ///   CONTANGO_MC_TRIALS       -> mc_trials (0 keeps MC off)
 ///   CONTANGO_MC_SIGMA_VDD    -> variation.sigma_vdd (default 0.05)
 ///   CONTANGO_MC_SEED         -> variation.seed
@@ -165,7 +176,19 @@ SuiteReport run_suite_spec(const std::string& spec, std::uint64_t seed,
 /// Malformed values are configuration mistakes and are rejected, not
 /// silently coerced: a non-numeric CONTANGO_THREADS, a negative
 /// CONTANGO_MC_TRIALS or an invalid CONTANGO_PIPELINE spec all throw with
-/// the variable named in the message.
+/// the variable named in the message.  CONTANGO_* variables that no
+/// Contango binary reads (e.g. the typo CONTANGO_BATH=0) are reported
+/// through Log::warn — a misspelled knob silently reverting to the default
+/// is the worst failure mode a benchmark harness can have.
 SuiteOptions suite_options_from_env(SuiteOptions base = {});
+
+/// \brief Names of set CONTANGO_* environment variables no Contango binary
+/// reads — almost always knob typos.
+///
+/// The recognized set is the union of every knob across the library, the
+/// bench drivers and the examples (a suite driver must not warn about
+/// another binary's knob); `CONTANGO_TEST_`-prefixed names are reserved
+/// for tests and never reported.
+std::vector<std::string> unknown_contango_env_vars();
 
 }  // namespace contango

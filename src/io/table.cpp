@@ -30,6 +30,29 @@ std::string TextTable::num(double value, int precision) {
   return os.str();
 }
 
+namespace {
+
+/// A cell that reads as a number: optional sign, digits with at most one
+/// decimal point — plus "n/a", num()'s non-finite rendering, so a column
+/// with a few missing metrics still aligns as numeric.
+bool numeric_cell(const std::string& cell) {
+  if (cell == "n/a") return true;
+  std::size_t i = (cell[0] == '+' || cell[0] == '-') ? 1 : 0;
+  bool digits = false, dot = false;
+  for (; i < cell.size(); ++i) {
+    if (cell[i] >= '0' && cell[i] <= '9') {
+      digits = true;
+    } else if (cell[i] == '.' && !dot) {
+      dot = true;
+    } else {
+      return false;
+    }
+  }
+  return digits;
+}
+
+}  // namespace
+
 std::string TextTable::to_string() const {
   std::vector<std::size_t> widths(headers_.size());
   for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
@@ -38,14 +61,35 @@ std::string TextTable::to_string() const {
       widths[c] = std::max(widths[c], row[c].size());
     }
   }
+
+  // Right-align a column when every non-empty body cell is numeric, so
+  // counter columns much narrower than their header ("Batched",
+  // "Full evals") line their digits up instead of hugging the left edge —
+  // and units/magnitudes stay comparable down the column.  A non-numeric
+  // cell (e.g. a "FAILED: ..." spill) flips its column back to
+  // left-aligned.
+  std::vector<char> right_align(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    bool any = false;
+    bool all = true;
+    for (const auto& row : rows_) {
+      if (c >= row.size() || row[c].empty()) continue;
+      any = true;
+      all = all && numeric_cell(row[c]);
+    }
+    right_align[c] = any && all;
+  }
+
   std::ostringstream os;
   auto emit_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
     for (std::size_t c = 0; c < cells.size(); ++c) {
-      os << (c == 0 ? "" : "  ");
-      os << cells[c];
-      os << std::string(widths[c] - cells[c].size(), ' ');
+      if (c != 0) line += "  ";
+      const std::string pad(widths[c] - cells[c].size(), ' ');
+      line += right_align[c] ? pad + cells[c] : cells[c] + pad;
     }
-    os << "\n";
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    os << line << "\n";
   };
   emit_row(headers_);
   std::size_t total = 0;

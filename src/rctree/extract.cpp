@@ -197,6 +197,7 @@ void RcNetlist::free_slot(int slot) {
   s.stage = Stage{};
   s.version = next_version_++;
   s.live = false;
+  soa_.release_slot(slot);
   free_slots_.push_back(slot);
 }
 
@@ -246,6 +247,9 @@ void RcNetlist::extract_slot(int slot, std::vector<int>& worklist) {
   stage.downstream_stages = std::move(child_slots);
   s.stage = std::move(stage);
   s.version = next_version_++;
+  // Mirror the refreshed contents into the SoA arena: in place when the
+  // slice capacity fits, so steady-state IVC refine loops never allocate.
+  soa_.write_slot(slot, s.stage);
   ++stages_extracted_;
 }
 
@@ -280,6 +284,7 @@ void RcNetlist::refresh() {
     free_slots_.clear();
     slot_of_driver_.clear();
     topo_slots_.clear();
+    soa_.clear();
     if (tree_->empty()) {
       dirty_.clear();
       full_rebuild_ = false;

@@ -7,6 +7,7 @@
 
 #include "netlist/benchmark.h"
 #include "rctree/clocktree.h"
+#include "rctree/soa.h"
 
 namespace contango {
 
@@ -160,6 +161,13 @@ class RcNetlist {
   /// Number of stages re-extracted by refresh() calls so far.
   long stages_extracted() const { return stages_extracted_; }
 
+  /// Arena-backed SoA mirror of every live slot, maintained across
+  /// refresh(): a dirty stage's re-extraction rewrites its slice in place
+  /// (rctree/soa.h).  Slot ids match this netlist's; the batched
+  /// evaluation kernels read stages through here instead of the AoS
+  /// Stage.  Slices are bit-identical to stage(slot) by construction.
+  const NetlistSoa& soa() const { return soa_; }
+
  private:
   struct Slot {
     Stage stage;
@@ -186,6 +194,7 @@ class RcNetlist {
   bool full_rebuild_ = false;
   std::uint64_t next_version_ = 1;
   long stages_extracted_ = 0;
+  NetlistSoa soa_;  ///< SoA mirror of live slots (see soa())
 };
 
 /// \brief Journaled edit transaction over a ClockTree, wired to an

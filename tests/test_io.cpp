@@ -39,6 +39,47 @@ TEST(TextTable, NumFormatsPrecision) {
   EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
 }
 
+TEST(TextTable, NumericColumnsRightAlignUnderWideHeaders) {
+  // Counter columns are usually much narrower than their header
+  // ("Batched", "Full evals"); digits must line up on the right edge so
+  // magnitudes stay comparable down the column.  "n/a" counts as numeric
+  // (it is num()'s non-finite rendering); any other non-numeric cell
+  // flips its column back to left-aligned.
+  TextTable t({"Benchmark", "Batched", "Status"});
+  t.add_row({"r1", "12", "ok"});
+  t.add_row({"long_name", "34567", "n/a"});
+  t.add_row({"r3", "n/a", "FAILED: x"});
+  const std::string s = t.to_string();
+
+  std::vector<std::string> lines;
+  for (std::size_t pos = 0, nl; pos < s.size(); pos = nl + 1) {
+    nl = s.find('\n', pos);
+    lines.push_back(s.substr(pos, nl - pos));
+  }
+  ASSERT_EQ(lines.size(), 5u);  // header, separator, three rows
+
+  // No trailing whitespace on any line (left-aligned last columns used to
+  // pad to full width).
+  for (const std::string& line : lines) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_NE(line.back(), ' ') << "trailing space in: \"" << line << "\"";
+  }
+
+  // "Batched" column: all cells numeric (incl. "n/a") -> right-aligned,
+  // i.e. every cell ends at the same column as the header's last char.
+  const std::size_t batched_end = lines[0].find("Batched") + 7;
+  EXPECT_EQ(lines[2].find("12") + 2, batched_end);
+  EXPECT_EQ(lines[3].find("34567") + 5, batched_end);
+  EXPECT_EQ(lines[4].find("n/a") + 3, batched_end);
+
+  // "Benchmark" (names) and "Status" (contains "FAILED: x") columns stay
+  // left-aligned: cells start where the header starts.
+  EXPECT_EQ(lines[2].find("r1"), lines[0].find("Benchmark"));
+  const std::size_t status_start = lines[0].find("Status");
+  EXPECT_EQ(lines[2].find("ok"), status_start);
+  EXPECT_EQ(lines[4].find("FAILED"), status_start);
+}
+
 TEST(TextTable, NonFiniteMetricsRenderAsNa) {
   // Raw "inf"/"nan" cells break the suite tables' downstream parsers;
   // io/json already emits null for non-finite doubles, the table path

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -302,6 +304,43 @@ TEST(SuiteEnv, NegativeCountsRejected) {
     ScopedEnv bad("CONTANGO_THREADS", "-1");
     EXPECT_THROW(suite_options_from_env(), std::runtime_error);
   }
+}
+
+TEST(SuiteEnv, BatchKnobParsesAndRejectsGarbage) {
+  EXPECT_TRUE(suite_options_from_env().flow.eval.batch);  // default: on
+  {
+    ScopedEnv off("CONTANGO_BATCH", "0");
+    EXPECT_FALSE(suite_options_from_env().flow.eval.batch);
+  }
+  {
+    ScopedEnv on("CONTANGO_BATCH", "1");
+    EXPECT_TRUE(suite_options_from_env().flow.eval.batch);
+  }
+  ScopedEnv bad("CONTANGO_BATCH", "yes");
+  try {
+    suite_options_from_env();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("CONTANGO_BATCH"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SuiteEnv, UnknownContangoVariablesAreReportedNotFatal) {
+  ScopedEnv typo("CONTANGO_BATH", "0");  // the classic knob typo
+  ScopedEnv reserved("CONTANGO_TEST_SCRATCH", "1");
+  ScopedEnv known("CONTANGO_BATCH", "1");
+  const std::vector<std::string> unknown = unknown_contango_env_vars();
+  EXPECT_NE(std::find(unknown.begin(), unknown.end(), "CONTANGO_BATH"),
+            unknown.end());
+  // Real knobs and the CONTANGO_TEST_ namespace never warn about themselves.
+  EXPECT_EQ(std::find(unknown.begin(), unknown.end(), "CONTANGO_BATCH"),
+            unknown.end());
+  EXPECT_EQ(std::find(unknown.begin(), unknown.end(), "CONTANGO_TEST_SCRATCH"),
+            unknown.end());
+  // A typo warns (through Log::warn) but must not reject the environment:
+  // the variable may belong to a different binary's future knob set.
+  EXPECT_NO_THROW(suite_options_from_env());
 }
 
 TEST(SuiteEnv, BadPipelineSpecRejectedNamingTheKnob) {
