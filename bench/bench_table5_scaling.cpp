@@ -18,8 +18,11 @@
 //
 // Set CONTANGO_SCENARIO to a registered scenario-family name (see
 // cts/scenario.h: uniform, clustered, ring, obstacle_dense, high_fanout,
-// mixed_cap) to run the same scaling sweep over that family instead of the
-// TI-style chip; CONTANGO_SEED picks the instance.
+// mixed_cap, huge) to run the same scaling sweep over that family instead
+// of the TI-style chip; CONTANGO_SEED picks the instance.  The `huge`
+// family reaches 100k+ sinks; CONTANGO_SPATIAL=0 forces the reference
+// linear-scan geometry paths for index-vs-scan scaling comparisons
+// (results are bit-identical, only the time changes).
 
 #include <cstdio>
 #include <exception>
@@ -37,7 +40,7 @@ int main() {
   const std::string scenario = env_string("CONTANGO_SCENARIO", "");
   const auto seed = static_cast<std::uint64_t>(env_long("CONTANGO_SEED", 1));
   std::vector<Benchmark> suite;
-  for (int n : {200, 500, 1000, 2000, 5000, 10000, 20000, 50000}) {
+  for (int n : {200, 500, 1000, 2000, 5000, 10000, 20000, 50000, 100000}) {
     if (n > max_sinks) continue;
     if (scenario.empty()) {
       suite.push_back(generate_ti_like(n));

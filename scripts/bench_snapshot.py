@@ -24,7 +24,9 @@ Usage:
                                       [--label pr6-batched]
                                       [--build-dir build] [--out FILE]
                                       [--max-sinks 2000] [--threads 1]
+                                      [--scenario huge] [--seed 1]
                                       [--force-full] [--force-scalar]
+                                      [--force-scan]
 
 Exit status is non-zero when the bench fails or a report is malformed.
 """
@@ -78,10 +80,19 @@ def main() -> int:
                         help="CONTANGO_MAX_SINKS for the table5 sweep")
     parser.add_argument("--threads", type=int, default=1,
                         help="CONTANGO_THREADS (1 = serial, reproducible timing)")
+    parser.add_argument("--scenario", default="",
+                        help="CONTANGO_SCENARIO for the table5 sweep: run a "
+                             "registered scenario family (e.g. 'huge') instead "
+                             "of the TI-style chip")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="CONTANGO_SEED for --scenario instances")
     parser.add_argument("--force-full", action="store_true",
                         help="set CONTANGO_INCREMENTAL=0 (baseline comparison runs)")
     parser.add_argument("--force-scalar", action="store_true",
                         help="set CONTANGO_BATCH=0 (scalar-kernel comparison runs)")
+    parser.add_argument("--force-scan", action="store_true",
+                        help="set CONTANGO_SPATIAL=0 (linear-scan geometry "
+                             "comparison runs)")
     args = parser.parse_args()
 
     build_dir = pathlib.Path(args.build_dir)
@@ -110,23 +121,32 @@ def main() -> int:
         # Timing points exclude the optional MC pass unless the caller
         # exported CONTANGO_MC_TRIALS; table6 *is* the MC bench.
         env.setdefault("CONTANGO_MC_TRIALS", "0")
+    if args.scenario:
+        env["CONTANGO_SCENARIO"] = args.scenario
+        env["CONTANGO_SEED"] = str(args.seed)
     if args.force_full:
         env["CONTANGO_INCREMENTAL"] = "0"
     if args.force_scalar:
         env["CONTANGO_BATCH"] = "0"
+    if args.force_scan:
+        env["CONTANGO_SPATIAL"] = "0"
 
     config = {
         "binary": BENCH_BINARIES[args.bench],
         "threads": args.threads,
         "incremental": not args.force_full,
         "batch": not args.force_scalar,
+        "spatial": not args.force_scan,
     }
     if args.bench == "table5":
         config["max_sinks"] = args.max_sinks
+        if args.scenario:
+            config["scenario"] = args.scenario
+            config["seed"] = args.seed
 
     print(f"bench_snapshot: running {bench} "
           f"(threads={args.threads}, incremental={int(config['incremental'])}, "
-          f"batch={int(config['batch'])})")
+          f"batch={int(config['batch'])}, spatial={int(config['spatial'])})")
     result = subprocess.run([str(bench)], env=env)
     if result.returncode != 0:
         print(f"bench_snapshot: {BENCH_BINARIES[args.bench]} failed",

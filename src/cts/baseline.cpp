@@ -5,6 +5,7 @@
 
 #include "cts/buflib.h"
 #include "cts/bufferopt.h"
+#include "geom/spatial.h"
 #include "cts/dme.h"
 #include "cts/rebalance.h"
 #include "cts/obstacles.h"
@@ -44,19 +45,40 @@ ClockTree greedy_topology(const Benchmark& bench) {
            manhattan(bench.sinks[b].position, bench.source);
   });
 
+  // Candidate nodes are found either by the grid-bucket NN index or by the
+  // reference linear scan (CONTANGO_SPATIAL=0).  Both minimize
+  // (manhattan distance, attachable sequence number) lexicographically —
+  // the scan's first-wins strict `<` over insertion order is exactly that —
+  // so the topologies are bit-identical.
+  const bool use_index = spatial_index_enabled();
+  Rect layout = Rect::around(bench.source, bench.source);
+  for (const Sink& s : bench.sinks) {
+    layout = layout.bounding_union(Rect::around(s.position, s.position));
+  }
+  PointNnGrid grid(layout, bench.sinks.size() + 1);
+  grid.insert(bench.source, 0);
+
   std::vector<NodeId> attachable{root};
   for (std::size_t i : order) {
     const Point& p = bench.sinks[i].position;
     NodeId best = root;
-    Um best_d = std::numeric_limits<double>::max();
-    for (NodeId cand : attachable) {
+    if (use_index) {
       // Keep the tree binary: full joints stop accepting attachments
       // (buffer insertion's DP reconstruction requires binary branches).
-      if (tree.node(cand).children.size() >= 2) continue;
-      const Um d = manhattan(tree.node(cand).pos, p);
-      if (d < best_d) {
-        best_d = d;
-        best = cand;
+      const int got = grid.nearest(p, [&](int seq) {
+        return tree.node(attachable[static_cast<std::size_t>(seq)])
+                   .children.size() < 2;
+      });
+      if (got >= 0) best = attachable[static_cast<std::size_t>(got)];
+    } else {
+      Um best_d = std::numeric_limits<double>::max();
+      for (NodeId cand : attachable) {
+        if (tree.node(cand).children.size() >= 2) continue;
+        const Um d = manhattan(tree.node(cand).pos, p);
+        if (d < best_d) {
+          best_d = d;
+          best = cand;
+        }
       }
     }
     const NodeId sink = tree.add_child(best, NodeKind::kSink, p);
@@ -67,6 +89,7 @@ ClockTree greedy_topology(const Benchmark& bench) {
     const NodeId joint = tree.split_edge(sink, tree.routed_length(sink));
     tree.node(joint).wire_width = width;
     attachable.push_back(joint);
+    grid.insert(tree.node(joint).pos, static_cast<int>(attachable.size()) - 1);
   }
   tree.validate();
   return tree;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "geom/spatial.h"
 #include "util/log.h"
 
 namespace contango {
@@ -35,77 +36,53 @@ struct MergeItem {
   Um e_left = 0.0, e_right = 0.0;  ///< planned wire lengths to children
 };
 
-/// Grid-accelerated nearest-neighbour search over active items.
-class NeighbourGrid {
+/// Exact nearest-neighbour search over the active merge items, by
+/// merge-region distance with (distance, item index) tie-breaking.
+///
+/// Two interchangeable engines: a kd-tree over the regions (O(log n)
+/// amortized per query) and the reference linear scan (CONTANGO_SPATIAL=0).
+/// Both compute the identical lexicographic argmin with the identical
+/// TiltedRect::distance bits, so the merge forests they drive are equal.
+class NeighbourFinder {
  public:
-  NeighbourGrid(const std::vector<MergeItem>& items,
-                const std::vector<int>& active) {
-    double xlo = std::numeric_limits<double>::max(), xhi = -xlo;
-    double ylo = xlo, yhi = -xlo;
+  NeighbourFinder(const std::vector<MergeItem>& items,
+                  const std::vector<int>& active, bool use_index)
+      : items_(items), active_(active), use_index_(use_index) {
+    if (!use_index_) return;
+    std::vector<TiltedNnIndex::Entry> entries;
+    entries.reserve(active.size());
     for (int idx : active) {
-      const Point p = items[static_cast<std::size_t>(idx)].region.any_point();
-      xlo = std::min(xlo, p.x);
-      xhi = std::max(xhi, p.x);
-      ylo = std::min(ylo, p.y);
-      yhi = std::max(yhi, p.y);
+      entries.push_back(TiltedNnIndex::Entry{
+          items[static_cast<std::size_t>(idx)].region, idx});
     }
-    origin_ = Point{xlo, ylo};
-    const double span = std::max({xhi - xlo, yhi - ylo, 1.0});
-    n_ = std::max(1, static_cast<int>(std::sqrt(static_cast<double>(active.size()))));
-    cell_ = span / n_;
-    cells_.assign(static_cast<std::size_t>(n_) * n_, {});
-    for (int idx : active) {
-      const Point p = items[static_cast<std::size_t>(idx)].region.any_point();
-      cells_[cell_index(p)].push_back(idx);
-    }
+    index_ = TiltedNnIndex(std::move(entries));
   }
 
-  /// Nearest active item to `self` by merge-region distance, or -1.
-  int nearest(const std::vector<MergeItem>& items, const std::vector<char>& taken,
-              int self) const {
-    const MergeItem& me = items[static_cast<std::size_t>(self)];
-    const Point p = me.region.any_point();
-    const int ci = std::clamp(static_cast<int>((p.x - origin_.x) / cell_), 0, n_ - 1);
-    const int cj = std::clamp(static_cast<int>((p.y - origin_.y) / cell_), 0, n_ - 1);
+  /// Nearest active item to `self`, or -1 when `self` is the only one.
+  int nearest(int self) const {
+    const TiltedRect& me = items_[static_cast<std::size_t>(self)].region;
+    if (use_index_) {
+      return index_.nearest(me, [self](int cand) { return cand != self; });
+    }
     int best = -1;
-    double best_d = std::numeric_limits<double>::max();
-    for (int ring = 0; ring < 2 * n_; ++ring) {
-      // Once a candidate is found, one extra ring guarantees correctness
-      // (region distance can undercut center distance by the region size,
-      // which is bounded by a cell or two in practice).
-      if (best >= 0 && (ring - 1) * cell_ > best_d) break;
-      bool any_cell = false;
-      for (int i = ci - ring; i <= ci + ring; ++i) {
-        for (int j = cj - ring; j <= cj + ring; ++j) {
-          if (std::max(std::abs(i - ci), std::abs(j - cj)) != ring) continue;
-          if (i < 0 || i >= n_ || j < 0 || j >= n_) continue;
-          any_cell = true;
-          for (int cand : cells_[static_cast<std::size_t>(j) * n_ + i]) {
-            if (cand == self || taken[static_cast<std::size_t>(cand)]) continue;
-            const double d = me.region.distance(items[static_cast<std::size_t>(cand)].region);
-            if (d < best_d) {
-              best_d = d;
-              best = cand;
-            }
-          }
-        }
+    double best_d = 0.0;
+    for (int cand : active_) {
+      if (cand == self) continue;
+      const double d =
+          me.distance(items_[static_cast<std::size_t>(cand)].region);
+      if (best < 0 || d < best_d || (d == best_d && cand < best)) {
+        best = cand;
+        best_d = d;
       }
-      if (!any_cell && ring >= n_) break;
     }
     return best;
   }
 
  private:
-  std::size_t cell_index(const Point& p) const {
-    const int i = std::clamp(static_cast<int>((p.x - origin_.x) / cell_), 0, n_ - 1);
-    const int j = std::clamp(static_cast<int>((p.y - origin_.y) / cell_), 0, n_ - 1);
-    return static_cast<std::size_t>(j) * n_ + i;
-  }
-
-  Point origin_;
-  double cell_ = 1.0;
-  int n_ = 1;
-  std::vector<std::vector<int>> cells_;
+  const std::vector<MergeItem>& items_;
+  const std::vector<int>& active_;
+  bool use_index_ = true;
+  TiltedNnIndex index_;
 };
 
 }  // namespace
@@ -182,10 +159,13 @@ ClockTree build_zst(const Benchmark& bench, const DmeOptions& options) {
     items.push_back(item);
   }
 
-  // Bottom-up: rounds of greedy nearest-neighbour matching.
+  // Bottom-up: rounds of greedy nearest-neighbour matching.  The NN engine
+  // (kd-tree vs reference scan) follows CONTANGO_SPATIAL; both produce the
+  // same (distance, index)-lexicographic neighbours, so the topology is
+  // bit-identical either way.
+  const bool use_index = spatial_index_enabled();
   while (active.size() > 1) {
-    NeighbourGrid grid(items, active);
-    std::vector<char> taken(items.size(), 0);
+    NeighbourFinder finder(items, active, use_index);
 
     // Collect (distance, a, b) candidate pairs from each item's NN.
     struct Pair {
@@ -195,15 +175,18 @@ ClockTree build_zst(const Benchmark& bench, const DmeOptions& options) {
     std::vector<Pair> pairs;
     pairs.reserve(active.size());
     for (int idx : active) {
-      const int nn = grid.nearest(items, taken, idx);
+      const int nn = finder.nearest(idx);
       if (nn >= 0) {
         pairs.push_back(Pair{items[static_cast<std::size_t>(idx)].region.distance(
                                  items[static_cast<std::size_t>(nn)].region),
                              idx, nn});
       }
     }
-    std::sort(pairs.begin(), pairs.end(),
-              [](const Pair& x, const Pair& y) { return x.d < y.d; });
+    // stable_sort keeps equal-distance pairs in active order: the greedy
+    // accept below is then a pure function of the (identical) NN answers.
+    std::stable_sort(pairs.begin(), pairs.end(),
+                     [](const Pair& x, const Pair& y) { return x.d < y.d; });
+    std::vector<char> taken(items.size(), 0);
 
     std::vector<int> next_active;
     for (const Pair& p : pairs) {

@@ -116,6 +116,16 @@ ScenarioRegistry build_builtin() {
                   return generate_ispd_like(p);
                 }});
 
+  registry.add({"huge",
+                "full-SoC scale: macro-heavy die, row-placed sinks (100k+ capable)",
+                2000,
+                [](std::uint64_t seed, int n) {
+                  HugeGenParams p;
+                  p.num_sinks = n;
+                  p.seed = seed;
+                  return generate_huge(p);
+                }});
+
   return registry;
 }
 

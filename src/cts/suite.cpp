@@ -79,9 +79,10 @@ std::string SuiteReport::table() const {
   bool any_mc = false;
   for (const SuiteRun& r : runs) any_mc = any_mc || r.has_mc;
 
-  std::vector<std::string> headers = {"Benchmark", "Sinks",   "CLR, ps",
-                                      "Skew, ps",  "Latency, ps", "Cap, pF",
-                                      "Sims",      "Batched",     "CPU, s"};
+  std::vector<std::string> headers = {"Benchmark", "Sinks",       "Blk%",
+                                      "CLR, ps",   "Skew, ps",    "Latency, ps",
+                                      "Cap, pF",   "Sims",        "Batched",
+                                      "CPU, s"};
   if (any_mc) {
     headers.insert(headers.end(),
                    {"MC skew u", "MC p95", "MC p99", "MC CLR p95", "Yield%"});
@@ -96,6 +97,7 @@ std::string SuiteReport::table() const {
     const long batched = r.result.batched_stage_evals +
                          (r.has_mc ? r.mc.batched_stage_evals : 0);
     std::vector<std::string> row = {r.benchmark, std::to_string(r.num_sinks),
+                                    TextTable::num(100.0 * r.obstacle_density, 1),
                                     TextTable::num(r.result.eval.clr, 2),
                                     TextTable::num(r.result.eval.nominal_skew, 3),
                                     TextTable::num(r.result.eval.max_latency, 1),
@@ -134,6 +136,10 @@ std::string SuiteReport::to_json() const {
     w.begin_object();
     w.kv("benchmark", r.benchmark);
     w.kv("num_sinks", static_cast<long>(r.num_sinks));
+    w.kv("num_obstacle_rects", static_cast<long>(r.num_obstacle_rects));
+    w.kv("num_obstacle_compounds", static_cast<long>(r.num_obstacle_compounds));
+    w.kv("obstacle_union_area_um2", r.obstacle_union_area_um2);
+    w.kv("obstacle_density", r.obstacle_density);
     w.kv("ok", r.ok);
     if (!r.ok) {
       w.kv("error", r.error);
@@ -246,6 +252,13 @@ SuiteReport run_suite(const std::vector<Benchmark>& suite,
       SuiteRun& run = report.runs[i];
       run.benchmark = bench.name;
       run.num_sinks = static_cast<int>(bench.sinks.size());
+      const ObstacleSet& obstacles = bench.obstacles();  // warmed above
+      run.num_obstacle_rects = static_cast<int>(obstacles.rects().size());
+      run.num_obstacle_compounds = static_cast<int>(obstacles.compounds().size());
+      run.obstacle_union_area_um2 = obstacles.union_area();
+      run.obstacle_density = bench.die.area() > 0.0
+                                 ? obstacles.union_area() / bench.die.area()
+                                 : 0.0;
       Timer run_timer;
       try {
         run.result = run_contango(bench, flow);
@@ -313,6 +326,7 @@ std::vector<std::string> unknown_contango_env_vars() {
       "CONTANGO_PIPELINE",
       "CONTANGO_SCENARIO",
       "CONTANGO_SEED",
+      "CONTANGO_SPATIAL",
       "CONTANGO_TABLE3_BENCHMARKS",
       "CONTANGO_TABLE4_BENCHMARKS",
       "CONTANGO_THREADS",
@@ -351,6 +365,10 @@ SuiteOptions suite_options_from_env(SuiteOptions base) {
       env_long_strict("CONTANGO_INCREMENTAL", base.flow.incremental ? 1 : 0) != 0;
   base.flow.eval.batch =
       env_long_strict("CONTANGO_BATCH", base.flow.eval.batch ? 1 : 0) != 0;
+  // CONTANGO_SPATIAL is consumed inside geom/spatial.h (query structures
+  // sample it at construction); the strict read here only rejects malformed
+  // values up front, like every other knob.
+  env_long_strict("CONTANGO_SPATIAL", 1);
   base.mc_trials =
       static_cast<int>(env_long_strict("CONTANGO_MC_TRIALS", base.mc_trials));
   if (base.mc_trials < 0) {

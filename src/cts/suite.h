@@ -69,6 +69,15 @@ struct SuiteOptions {
 struct SuiteRun {
   std::string benchmark;  ///< Benchmark::name
   int num_sinks = 0;
+
+  /// Obstacle-density statistics of the benchmark floorplan (filled for
+  /// every run, even failed ones).  The union area comes from the Klee
+  /// sweep in geom/spatial.h and is spatial-mode-independent, so
+  /// CONTANGO_SPATIAL=0/1 suite reports stay byte-identical.
+  int num_obstacle_rects = 0;
+  int num_obstacle_compounds = 0;
+  double obstacle_union_area_um2 = 0.0;  ///< area of the union of all rects
+  double obstacle_density = 0.0;         ///< union area / die area, 0..1
   FlowResult result;
   double seconds = 0.0;  ///< wall time of this run on its worker
   bool ok = false;       ///< false when the flow threw; see `error`
@@ -166,6 +175,12 @@ SuiteReport run_suite_spec(const std::string& spec, std::uint64_t seed,
 ///   CONTANGO_BATCH           -> flow.eval.batch (0 forces the scalar
 ///                               transient kernel; default 1, results are
 ///                               bit-identical either way)
+///   CONTANGO_SPATIAL         -> geometry engine (0 forces the reference
+///                               linear scans instead of the spatial
+///                               indices; default 1, results are
+///                               bit-identical either way; read by
+///                               geom/spatial.h at query-structure
+///                               construction, validated here)
 ///   CONTANGO_MC_TRIALS       -> mc_trials (0 keeps MC off)
 ///   CONTANGO_MC_SIGMA_VDD    -> variation.sigma_vdd (default 0.05)
 ///   CONTANGO_MC_SEED         -> variation.seed

@@ -54,8 +54,11 @@ std::optional<std::vector<Point>> MazeRouter::route_in_window(
     const Point& from, const Point& to, const Rect& window) const {
   std::vector<double> xs{from.x, to.x, window.xlo, window.xhi};
   std::vector<double> ys{from.y, to.y, window.ylo, window.yhi};
-  for (const Rect& r : obstacles_.rects()) {
-    if (!r.intersects(window)) continue;
+  // Escape-graph coordinates from the obstacles inside the window only;
+  // rects_intersecting returns ascending indices on both spatial paths, so
+  // the compressed grids (and the routes) are identical either way.
+  for (const std::size_t i : obstacles_.rects_intersecting(window)) {
+    const Rect& r = obstacles_.rects()[i];
     xs.push_back(r.xlo);
     xs.push_back(r.xhi);
     ys.push_back(r.ylo);

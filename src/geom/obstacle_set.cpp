@@ -36,66 +36,51 @@ int direction_index(const Point& from, const Point& to) {
 
 }  // namespace
 
-ObstacleSet::ObstacleSet(std::vector<Rect> rects) : rects_(std::move(rects)) {
+ObstacleSet::ObstacleSet(std::vector<Rect> rects, SpatialMode mode)
+    : rects_(std::move(rects)) {
   for (const Rect& r : rects_) {
     if (!r.valid()) throw std::invalid_argument("ObstacleSet: invalid rect");
   }
-  build_index();
+  use_index_ = resolve_spatial_mode(mode) == SpatialMode::kForceIndex;
+  if (use_index_) index_ = RectIntervalIndex(rects_);
+  union_area_ = klee_union_area(rects_);
   build_groups();
   build_contours();
 }
 
-void ObstacleSet::build_index() {
-  if (rects_.empty()) return;
-  index_bounds_ = rects_.front();
-  for (const Rect& r : rects_) index_bounds_ = index_bounds_.bounding_union(r);
-  const int n = static_cast<int>(rects_.size());
-  grid_nx_ = grid_ny_ = std::clamp(static_cast<int>(std::ceil(std::sqrt(4.0 * n))), 1, 256);
-  cell_w_ = std::max(index_bounds_.width() / grid_nx_, 1e-9);
-  cell_h_ = std::max(index_bounds_.height() / grid_ny_, 1e-9);
-  grid_cells_.assign(static_cast<std::size_t>(grid_nx_) * grid_ny_, {});
+template <typename Fn>
+bool ObstacleSet::for_candidates(const Rect& query, Fn&& fn) const {
+  if (use_index_) return index_.visit(query, fn);
+  // Reference path: plain linear scan over every rectangle, ascending.
+  // Rectangles not intersecting `query` contribute nothing to any caller
+  // (each caller's predicate implies closed intersection), so both paths
+  // produce bit-identical results.
   for (std::size_t i = 0; i < rects_.size(); ++i) {
-    const Rect& r = rects_[i];
-    const int ix0 = std::clamp(static_cast<int>((r.xlo - index_bounds_.xlo) / cell_w_), 0, grid_nx_ - 1);
-    const int ix1 = std::clamp(static_cast<int>((r.xhi - index_bounds_.xlo) / cell_w_), 0, grid_nx_ - 1);
-    const int iy0 = std::clamp(static_cast<int>((r.ylo - index_bounds_.ylo) / cell_h_), 0, grid_ny_ - 1);
-    const int iy1 = std::clamp(static_cast<int>((r.yhi - index_bounds_.ylo) / cell_h_), 0, grid_ny_ - 1);
-    for (int ix = ix0; ix <= ix1; ++ix) {
-      for (int iy = iy0; iy <= iy1; ++iy) {
-        grid_cells_[static_cast<std::size_t>(iy) * grid_nx_ + ix].push_back(i);
-      }
-    }
+    if (fn(i)) return true;
   }
+  return false;
 }
 
-std::vector<std::size_t> ObstacleSet::candidate_rects(const Rect& query) const {
+std::vector<std::size_t> ObstacleSet::rects_intersecting(
+    const Rect& window) const {
+  if (use_index_) return index_.intersecting(window);
   std::vector<std::size_t> out;
-  if (rects_.empty()) return out;
-  if (!query.intersects(index_bounds_)) return out;
-  const int ix0 = std::clamp(static_cast<int>((query.xlo - index_bounds_.xlo) / cell_w_), 0, grid_nx_ - 1);
-  const int ix1 = std::clamp(static_cast<int>((query.xhi - index_bounds_.xlo) / cell_w_), 0, grid_nx_ - 1);
-  const int iy0 = std::clamp(static_cast<int>((query.ylo - index_bounds_.ylo) / cell_h_), 0, grid_ny_ - 1);
-  const int iy1 = std::clamp(static_cast<int>((query.yhi - index_bounds_.ylo) / cell_h_), 0, grid_ny_ - 1);
-  for (int ix = ix0; ix <= ix1; ++ix) {
-    for (int iy = iy0; iy <= iy1; ++iy) {
-      const auto& cell = grid_cells_[static_cast<std::size_t>(iy) * grid_nx_ + ix];
-      out.insert(out.end(), cell.begin(), cell.end());
-    }
+  for (std::size_t i = 0; i < rects_.size(); ++i) {
+    if (rects_[i].intersects(window)) out.push_back(i);
   }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
 void ObstacleSet::build_groups() {
   UnionFind uf(rects_.size());
   for (std::size_t i = 0; i < rects_.size(); ++i) {
-    for (std::size_t j : candidate_rects(rects_[i])) {
-      if (j <= i) continue;
-      if (rects_[i].overlaps_interior(rects_[j]) || rects_[i].abuts(rects_[j])) {
+    for_candidates(rects_[i], [&](std::size_t j) {
+      if (j > i &&
+          (rects_[i].overlaps_interior(rects_[j]) || rects_[i].abuts(rects_[j]))) {
         uf.unite(i, j);
       }
-    }
+      return false;
+    });
   }
   std::map<std::size_t, std::size_t> root_to_compound;
   rect_to_compound_.assign(rects_.size(), 0);
@@ -124,24 +109,22 @@ void ObstacleSet::build_contours() {
 
 bool ObstacleSet::blocks_point(const Point& p) const {
   const Rect probe{p.x, p.y, p.x, p.y};
-  for (std::size_t i : candidate_rects(probe)) {
-    if (rects_[i].contains_strict(p)) return true;
-  }
-  return false;
+  return for_candidates(
+      probe, [&](std::size_t i) { return rects_[i].contains_strict(p); });
 }
 
 bool ObstacleSet::blocks_segment(const HVSegment& seg) const {
-  for (std::size_t i : candidate_rects(seg.bounds())) {
-    if (seg.crosses_interior(rects_[i])) return true;
-  }
-  return false;
+  return for_candidates(seg.bounds(), [&](std::size_t i) {
+    return seg.crosses_interior(rects_[i]);
+  });
 }
 
 std::vector<std::size_t> ObstacleSet::crossed_compounds(const HVSegment& seg) const {
   std::vector<std::size_t> out;
-  for (std::size_t i : candidate_rects(seg.bounds())) {
+  for_candidates(seg.bounds(), [&](std::size_t i) {
     if (seg.crosses_interior(rects_[i])) out.push_back(rect_to_compound_[i]);
-  }
+    return false;
+  });
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
@@ -156,16 +139,20 @@ bool ObstacleSet::blocks_polyline(const std::vector<Point>& pts) const {
 
 Um ObstacleSet::blocked_length(const HVSegment& seg) const {
   Um total = 0.0;
-  for (std::size_t i : candidate_rects(seg.bounds())) {
+  // Terms accumulate in ascending rect-index order on both paths, and
+  // non-intersecting rects add exactly 0.0, so the sum is bit-identical
+  // between the index and the scan.
+  for_candidates(seg.bounds(), [&](std::size_t i) {
     const Rect& r = rects_[i];
     const Rect clip = seg.bounds().intersection(r);
-    if (!clip.valid()) continue;
+    if (!clip.valid()) return false;
     if (seg.horizontal()) {
       if (seg.a.y > r.ylo && seg.a.y < r.yhi) total += std::max(0.0, clip.width());
     } else if (seg.vertical()) {
       if (seg.a.x > r.xlo && seg.a.x < r.xhi) total += std::max(0.0, clip.height());
     }
-  }
+    return false;
+  });
   return total;
 }
 
@@ -179,10 +166,15 @@ Um ObstacleSet::blocked_length(const std::vector<Point>& pts) const {
 
 std::size_t ObstacleSet::compound_containing(const Point& p) const {
   const Rect probe{p.x, p.y, p.x, p.y};
-  for (std::size_t i : candidate_rects(probe)) {
-    if (rects_[i].contains_strict(p)) return rect_to_compound_[i];
-  }
-  return npos;
+  std::size_t found = npos;
+  for_candidates(probe, [&](std::size_t i) {
+    if (rects_[i].contains_strict(p)) {
+      found = rect_to_compound_[i];
+      return true;  // first (lowest-index) containing rect wins on both paths
+    }
+    return false;
+  });
+  return found;
 }
 
 std::vector<Point> union_contour(const std::vector<Rect>& rects) {
@@ -389,26 +381,26 @@ std::vector<Point> contour_walk(const std::vector<Point>& contour, Um s0,
     s += manhattan(contour[i], contour[(i + 1) % contour.size()]);
   }
   const Um span = norm(s1 - s0);
-  for (std::size_t k = 0; k < vertices.size(); ++k) {
-    // Order vertices by forward distance from s0.
-    // (Linear scan; contours are small.)
-    Um best = std::numeric_limits<double>::max();
-    std::size_t pick = vertices.size();
-    for (std::size_t i = 0; i < vertices.size(); ++i) {
-      const Um fwd = norm(vertices[i].first - s0);
-      if (fwd > 1e-9 && fwd < span - 1e-9 && fwd < best) {
-        bool already = false;
-        for (std::size_t j = 1; j < path.size(); ++j) {
-          if (near(path[j], vertices[i].second)) already = true;
-        }
-        if (!already) {
-          best = fwd;
-          pick = i;
-        }
-      }
+  // Sorted sweep: order the in-window vertices by forward arc distance from
+  // s0 once, then append them in order (skipping near-duplicates of points
+  // already on the path).  This emits exactly the sequence the former
+  // repeated-minimum selection produced, in O(V log V) instead of O(V^2):
+  // arc positions are pairwise distinct, so ascending-fwd order is the
+  // order successive minima were picked in.
+  std::vector<std::pair<Um, Point>> in_window;
+  for (const auto& [vs, vp] : vertices) {
+    const Um fwd = norm(vs - s0);
+    if (fwd > 1e-9 && fwd < span - 1e-9) in_window.emplace_back(fwd, vp);
+  }
+  std::stable_sort(in_window.begin(), in_window.end(),
+                   [](const std::pair<Um, Point>& a,
+                      const std::pair<Um, Point>& b) { return a.first < b.first; });
+  for (const auto& [fwd, vp] : in_window) {
+    bool already = false;
+    for (std::size_t j = 1; j < path.size(); ++j) {
+      if (near(path[j], vp)) already = true;
     }
-    if (pick == vertices.size()) break;
-    path.push_back(vertices[pick].second);
+    if (!already) path.push_back(vp);
   }
   path.push_back(contour_at(contour, s1));
   // Drop zero-length lead/tail duplicates.

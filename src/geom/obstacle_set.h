@@ -6,6 +6,7 @@
 #include "geom/point.h"
 #include "geom/rect.h"
 #include "geom/segment.h"
+#include "geom/spatial.h"
 
 namespace contango {
 
@@ -27,14 +28,34 @@ struct CompoundObstacle {
 ///
 /// Rectangles whose interiors overlap or that abut along a boundary segment
 /// are grouped into compound obstacles at construction.
+///
+/// Queries run against an interval-tree spatial index (O(log n + k) per
+/// probe) unless `mode` — or the CONTANGO_SPATIAL env knob under kAuto —
+/// forces the reference linear scan.  Both paths are bit-identical:
+/// candidates are visited in ascending rectangle-index order either way,
+/// and non-intersecting rectangles contribute exactly nothing to every
+/// query result.
 class ObstacleSet {
  public:
   ObstacleSet() = default;
-  explicit ObstacleSet(std::vector<Rect> rects);
+  explicit ObstacleSet(std::vector<Rect> rects,
+                       SpatialMode mode = SpatialMode::kAuto);
 
   const std::vector<Rect>& rects() const { return rects_; }
   const std::vector<CompoundObstacle>& compounds() const { return compounds_; }
   bool empty() const { return rects_.empty(); }
+
+  /// True when queries run through the spatial index (resolved at
+  /// construction from the ctor mode / CONTANGO_SPATIAL).
+  bool uses_index() const { return use_index_; }
+
+  /// Area of the union of all obstacle rectangles (Klee sweep, computed
+  /// once at construction; mode-independent).
+  double union_area() const { return union_area_; }
+
+  /// Indices (ascending) of rectangles intersecting `window` (closed
+  /// test).  MazeRouter uses this to collect escape-graph coordinates.
+  std::vector<std::size_t> rects_intersecting(const Rect& window) const;
 
   /// Compound obstacle that owns rectangle `rect_index`.
   std::size_t compound_of(std::size_t rect_index) const {
@@ -71,19 +92,21 @@ class ObstacleSet {
 
  private:
   void build_groups();
-  void build_index();
   void build_contours();
-  std::vector<std::size_t> candidate_rects(const Rect& query) const;
+
+  /// Visits candidate rectangle indices for `query` in ascending order:
+  /// the interval-tree result under the index, every index under the scan.
+  /// fn returns true to stop early; for_candidates returns that flag.
+  template <typename Fn>
+  bool for_candidates(const Rect& query, Fn&& fn) const;
 
   std::vector<Rect> rects_;
   std::vector<CompoundObstacle> compounds_;
   std::vector<std::size_t> rect_to_compound_;
 
-  // Uniform-grid spatial index over rectangle indices.
-  Rect index_bounds_;
-  int grid_nx_ = 0, grid_ny_ = 0;
-  double cell_w_ = 0.0, cell_h_ = 0.0;
-  std::vector<std::vector<std::size_t>> grid_cells_;
+  bool use_index_ = true;
+  RectIntervalIndex index_;
+  double union_area_ = 0.0;
 };
 
 /// Computes the outer contour (closed CCW rectilinear polygon) of a union of

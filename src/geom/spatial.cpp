@@ -1,0 +1,295 @@
+#include "geom/spatial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/env.h"
+
+namespace contango {
+
+bool spatial_index_enabled() { return env_long("CONTANGO_SPATIAL", 1) != 0; }
+
+SpatialMode resolve_spatial_mode(SpatialMode mode) {
+  if (mode != SpatialMode::kAuto) return mode;
+  return spatial_index_enabled() ? SpatialMode::kForceIndex
+                                 : SpatialMode::kForceScan;
+}
+
+// ---------------------------------------------------------------------------
+// RectIntervalIndex
+
+RectIntervalIndex::RectIntervalIndex(const std::vector<Rect>& rects) {
+  xlo_.reserve(rects.size());
+  xhi_.reserve(rects.size());
+  ylo_.reserve(rects.size());
+  yhi_.reserve(rects.size());
+  for (const Rect& r : rects) {
+    xlo_.push_back(r.xlo);
+    xhi_.push_back(r.xhi);
+    ylo_.push_back(r.ylo);
+    yhi_.push_back(r.yhi);
+  }
+  if (rects.empty()) return;
+  std::vector<std::size_t> ids(rects.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  nodes_.reserve(2 * rects.size());
+  root_ = build(ids);
+}
+
+int RectIntervalIndex::build(std::vector<std::size_t>& ids) {
+  if (ids.empty()) return -1;
+  // Center on the median interval endpoint: every rect either spans it or
+  // falls wholly to one side, and the two sides shrink geometrically.
+  std::vector<double> endpoints;
+  endpoints.reserve(2 * ids.size());
+  for (const std::size_t i : ids) {
+    endpoints.push_back(xlo_[i]);
+    endpoints.push_back(xhi_[i]);
+  }
+  const std::size_t mid = endpoints.size() / 2;
+  std::nth_element(endpoints.begin(),
+                   endpoints.begin() + static_cast<std::ptrdiff_t>(mid),
+                   endpoints.end());
+  const double center = endpoints[mid];
+
+  Node node;
+  node.center = center;
+  std::vector<std::size_t> left, right;
+  for (const std::size_t i : ids) {
+    if (xhi_[i] < center) {
+      left.push_back(i);
+    } else if (xlo_[i] > center) {
+      right.push_back(i);
+    } else {
+      node.by_xlo.push_back(i);
+    }
+  }
+  // A degenerate split (everything on one side, nothing spanning) would
+  // recurse forever; park the whole list at this node instead.  Happens
+  // only when all intervals share a single endpoint pattern.
+  if (node.by_xlo.empty() && (left.empty() || right.empty())) {
+    node.by_xlo = std::move(ids);
+    left.clear();
+    right.clear();
+  }
+  node.by_xhi = node.by_xlo;
+  std::sort(node.by_xlo.begin(), node.by_xlo.end(),
+            [this](std::size_t a, std::size_t b) {
+              return xlo_[a] != xlo_[b] ? xlo_[a] < xlo_[b] : a < b;
+            });
+  std::sort(node.by_xhi.begin(), node.by_xhi.end(),
+            [this](std::size_t a, std::size_t b) {
+              return xhi_[a] != xhi_[b] ? xhi_[a] > xhi_[b] : a < b;
+            });
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  // Children are built after the parent slot is reserved; indices into
+  // nodes_ stay valid because we only ever push_back.
+  const int l = build(left);
+  const int r = build(right);
+  nodes_[static_cast<std::size_t>(id)].left = l;
+  nodes_[static_cast<std::size_t>(id)].right = r;
+  return id;
+}
+
+void RectIntervalIndex::query_node(int node_id, const Rect& q,
+                                   std::vector<std::size_t>& out) const {
+  if (node_id < 0) return;
+  const Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  if (q.xhi < node.center) {
+    // Only intervals starting at or before q.xhi can reach the query.
+    for (const std::size_t i : node.by_xlo) {
+      if (xlo_[i] > q.xhi) break;
+      if (ylo_[i] <= q.yhi && yhi_[i] >= q.ylo) out.push_back(i);
+    }
+    query_node(node.left, q, out);
+  } else if (q.xlo > node.center) {
+    for (const std::size_t i : node.by_xhi) {
+      if (xhi_[i] < q.xlo) break;
+      if (ylo_[i] <= q.yhi && yhi_[i] >= q.ylo) out.push_back(i);
+    }
+    query_node(node.right, q, out);
+  } else {
+    // The query straddles the center: every spanning interval overlaps in x.
+    for (const std::size_t i : node.by_xlo) {
+      if (ylo_[i] <= q.yhi && yhi_[i] >= q.ylo) out.push_back(i);
+    }
+    query_node(node.left, q, out);
+    query_node(node.right, q, out);
+  }
+}
+
+std::vector<std::size_t> RectIntervalIndex::intersecting(
+    const Rect& query) const {
+  std::vector<std::size_t> out;
+  query_node(root_, query, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Klee union area
+
+double klee_union_area(const std::vector<Rect>& rects) {
+  struct Event {
+    double x;
+    int delta;          ///< +1 opens the rect's y-interval, -1 closes it
+    int ylo_i, yhi_i;   ///< compressed y-slot range [ylo_i, yhi_i)
+  };
+  std::vector<double> ys;
+  ys.reserve(2 * rects.size());
+  for (const Rect& r : rects) {
+    if (r.width() <= 0.0 || r.height() <= 0.0) continue;  // zero-area rects
+    ys.push_back(r.ylo);
+    ys.push_back(r.yhi);
+  }
+  if (ys.empty()) return 0.0;
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+  const int slots = static_cast<int>(ys.size()) - 1;
+  if (slots <= 0) return 0.0;
+
+  std::vector<Event> events;
+  events.reserve(2 * rects.size());
+  auto slot_of = [&ys](double y) {
+    return static_cast<int>(std::lower_bound(ys.begin(), ys.end(), y) -
+                            ys.begin());
+  };
+  for (const Rect& r : rects) {
+    if (r.width() <= 0.0 || r.height() <= 0.0) continue;
+    events.push_back(Event{r.xlo, +1, slot_of(r.ylo), slot_of(r.yhi)});
+    events.push_back(Event{r.xhi, -1, slot_of(r.ylo), slot_of(r.yhi)});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.x != b.x) return a.x < b.x;
+    if (a.delta != b.delta) return a.delta > b.delta;  // opens before closes
+    if (a.ylo_i != b.ylo_i) return a.ylo_i < b.ylo_i;
+    return a.yhi_i < b.yhi_i;
+  });
+
+  // Segment tree over y slots: cover count per node plus covered length.
+  const int n = slots;
+  std::vector<int> count(static_cast<std::size_t>(4 * n), 0);
+  std::vector<double> covered(static_cast<std::size_t>(4 * n), 0.0);
+  // Recursive update via an explicit lambda (C++17: Y-combinator style).
+  const std::function<void(int, int, int, int, int, int)> update =
+      [&](int node, int lo, int hi, int qlo, int qhi, int delta) {
+        if (qhi <= lo || hi <= qlo) return;
+        if (qlo <= lo && hi <= qhi) {
+          count[static_cast<std::size_t>(node)] += delta;
+        } else {
+          const int mid = (lo + hi) / 2;
+          update(2 * node, lo, mid, qlo, qhi, delta);
+          update(2 * node + 1, mid, hi, qlo, qhi, delta);
+        }
+        if (count[static_cast<std::size_t>(node)] > 0) {
+          covered[static_cast<std::size_t>(node)] = ys[static_cast<std::size_t>(hi)] -
+                                                    ys[static_cast<std::size_t>(lo)];
+        } else if (hi - lo == 1) {
+          covered[static_cast<std::size_t>(node)] = 0.0;
+        } else {
+          covered[static_cast<std::size_t>(node)] =
+              covered[static_cast<std::size_t>(2 * node)] +
+              covered[static_cast<std::size_t>(2 * node + 1)];
+        }
+      };
+
+  double area = 0.0;
+  double prev_x = events.front().x;
+  for (const Event& e : events) {
+    area += covered[1] * (e.x - prev_x);
+    prev_x = e.x;
+    update(1, 0, n, e.ylo_i, e.yhi_i, e.delta);
+  }
+  return area;
+}
+
+// ---------------------------------------------------------------------------
+// TiltedNnIndex
+
+namespace {
+
+TiltedRect bbox_union(const TiltedRect& a, const TiltedRect& b) {
+  return TiltedRect{std::min(a.ulo, b.ulo), std::min(a.vlo, b.vlo),
+                    std::max(a.uhi, b.uhi), std::max(a.vhi, b.vhi)};
+}
+
+constexpr std::size_t kNnLeafSize = 8;
+
+}  // namespace
+
+TiltedNnIndex::TiltedNnIndex(std::vector<Entry> entries)
+    : entries_(std::move(entries)) {
+  if (entries_.empty()) return;
+  nodes_.reserve(2 * entries_.size() / kNnLeafSize + 2);
+  root_ = build(0, entries_.size());
+}
+
+int TiltedNnIndex::build(std::size_t begin, std::size_t end) {
+  Node node;
+  node.bbox = entries_[begin].region;
+  for (std::size_t i = begin + 1; i < end; ++i) {
+    node.bbox = bbox_union(node.bbox, entries_[i].region);
+  }
+  if (end - begin <= kNnLeafSize) {
+    node.begin = begin;
+    node.end = end;
+    const int id = static_cast<int>(nodes_.size());
+    nodes_.push_back(node);
+    return id;
+  }
+  // Split along the wider bbox axis at the median region center; ties on
+  // the key fall back to the entry id so the partition is deterministic.
+  const bool split_u =
+      (node.bbox.uhi - node.bbox.ulo) >= (node.bbox.vhi - node.bbox.vlo);
+  const std::size_t mid = begin + (end - begin) / 2;
+  auto key = [split_u](const Entry& e) {
+    return split_u ? e.region.ulo + e.region.uhi : e.region.vlo + e.region.vhi;
+  };
+  std::nth_element(entries_.begin() + static_cast<std::ptrdiff_t>(begin),
+                   entries_.begin() + static_cast<std::ptrdiff_t>(mid),
+                   entries_.begin() + static_cast<std::ptrdiff_t>(end),
+                   [&key](const Entry& a, const Entry& b) {
+                     const double ka = key(a), kb = key(b);
+                     return ka != kb ? ka < kb : a.id < b.id;
+                   });
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+  const int l = build(begin, mid);
+  const int r = build(mid, end);
+  nodes_[static_cast<std::size_t>(id)].left = l;
+  nodes_[static_cast<std::size_t>(id)].right = r;
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// PointNnGrid
+
+PointNnGrid::PointNnGrid(const Rect& bounds, std::size_t expected)
+    : bounds_(bounds) {
+  n_ = std::clamp(
+      static_cast<int>(std::ceil(std::sqrt(static_cast<double>(expected)))), 1,
+      1024);
+  cell_w_ = std::max(bounds_.width() / n_, 1e-9);
+  cell_h_ = std::max(bounds_.height() / n_, 1e-9);
+  cell_min_ = std::min(cell_w_, cell_h_);
+  cells_.assign(static_cast<std::size_t>(n_) * n_, {});
+}
+
+int PointNnGrid::cell_x(double x) const {
+  return std::clamp(static_cast<int>((x - bounds_.xlo) / cell_w_), 0, n_ - 1);
+}
+
+int PointNnGrid::cell_y(double y) const {
+  return std::clamp(static_cast<int>((y - bounds_.ylo) / cell_h_), 0, n_ - 1);
+}
+
+void PointNnGrid::insert(const Point& p, int id) {
+  const std::size_t slot = items_.size();
+  items_.push_back(Item{p, id});
+  cells_[static_cast<std::size_t>(cell_y(p.y)) * n_ + cell_x(p.x)].push_back(
+      slot);
+}
+
+}  // namespace contango

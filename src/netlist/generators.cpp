@@ -286,4 +286,101 @@ Benchmark generate_ti_like(int num_sinks, std::uint64_t seed) {
   return bench;
 }
 
+Benchmark generate_huge(const HugeGenParams& params) {
+  if (params.num_sinks < 1) {
+    throw std::invalid_argument("generate_huge: num_sinks");
+  }
+  if (params.num_rows < 1) throw std::invalid_argument("generate_huge: num_rows");
+
+  Rng rng(params.seed);
+  Benchmark bench;
+  bench.name = params.name;
+  bench.die = Rect{0.0, 0.0, params.die_w, params.die_h};
+  bench.source = Point{params.die_w / 2.0, 0.0};
+  bench.tech = ispd09_technology();
+
+  // Macro-heavy floorplan, with a clear strip around the source.
+  const Rect source_clear = Rect{bench.source.x - params.die_w * 0.04, 0.0,
+                                 bench.source.x + params.die_w * 0.04,
+                                 params.die_h * 0.06};
+  for (int i = 0; i < params.num_obstacles; ++i) {
+    Rect r;
+    const bool abut = !bench.obstacle_rects.empty() && rng.chance(params.abut_fraction);
+    const Um w = rng.uniform(params.obstacle_min, params.obstacle_max);
+    const Um h = rng.uniform(params.obstacle_min, params.obstacle_max);
+    if (abut) {
+      const Rect& base = bench.obstacle_rects[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(bench.obstacle_rects.size()) - 1))];
+      const int side = static_cast<int>(rng.uniform_int(0, 3));
+      switch (side) {
+        case 0: r = Rect{base.xhi, base.ylo, base.xhi + w, base.ylo + h}; break;
+        case 1: r = Rect{base.xlo - w, base.ylo, base.xlo, base.ylo + h}; break;
+        case 2: r = Rect{base.xlo, base.yhi, base.xlo + w, base.yhi + h}; break;
+        default: r = Rect{base.xlo, base.ylo - h, base.xlo + w, base.ylo}; break;
+      }
+    } else {
+      const Um x = rng.uniform(0.0, std::max(1.0, params.die_w - w));
+      const Um y = rng.uniform(0.0, std::max(1.0, params.die_h - h));
+      r = Rect{x, y, x + w, y + h};
+    }
+    r = r.intersection(bench.die);
+    if (!r.valid() || r.width() < params.obstacle_min / 2.0 ||
+        r.height() < params.obstacle_min / 2.0) {
+      continue;
+    }
+    if (r.intersects(source_clear)) continue;
+    bench.obstacle_rects.push_back(r);
+  }
+
+  // Row-based register placement, O(num_sinks): row densities follow a
+  // smooth clustered profile (like the TI pool) but sinks are emitted
+  // directly instead of sampling a materialized pool, so 1M sinks cost 1M
+  // draws.  Legalization rides on the ObstacleSet spatial index, keeping
+  // generation sub-quadratic too.
+  const int rows = params.num_rows;
+  const double row_pitch = params.die_h / rows;
+  std::vector<double> row_density(static_cast<std::size_t>(rows));
+  double density_total = 0.0;
+  for (int r = 0; r < rows; ++r) {
+    row_density[static_cast<std::size_t>(r)] =
+        0.25 + 0.75 * std::abs(std::sin(r * 0.17) * std::cos(r * 0.041));
+    density_total += row_density[static_cast<std::size_t>(r)];
+  }
+
+  const ObstacleSet legalizer(bench.obstacle_rects);
+  bench.sinks.reserve(static_cast<std::size_t>(params.num_sinks));
+  int emitted = 0;
+  for (int r = 0; r < rows && emitted < params.num_sinks; ++r) {
+    int in_row = static_cast<int>(
+        std::round(params.num_sinks * row_density[static_cast<std::size_t>(r)] /
+                   density_total));
+    if (r == rows - 1) in_row = params.num_sinks - emitted;  // absorb rounding
+    for (int k = 0; k < in_row && emitted < params.num_sinks; ++k) {
+      Point p{rng.uniform(0.0, params.die_w),
+              (r + rng.uniform(0.15, 0.85)) * row_pitch};
+      p = push_out_of_obstacles(p, legalizer, bench.die);
+      Sink s;
+      s.name = "s" + std::to_string(emitted);
+      s.position = p;
+      s.cap = rng.uniform(params.sink_cap_min, params.sink_cap_max);
+      bench.sinks.push_back(s);
+      ++emitted;
+    }
+  }
+  while (emitted < params.num_sinks) {  // density profile under-produced
+    Point p{rng.uniform(0.0, params.die_w), rng.uniform(0.0, params.die_h)};
+    p = push_out_of_obstacles(p, legalizer, bench.die);
+    Sink s;
+    s.name = "s" + std::to_string(emitted);
+    s.position = p;
+    s.cap = rng.uniform(params.sink_cap_min, params.sink_cap_max);
+    bench.sinks.push_back(s);
+    ++emitted;
+  }
+
+  bench.tech.cap_limit = capacitance_budget(bench);
+  validate(bench);
+  return bench;
+}
+
 }  // namespace contango

@@ -66,4 +66,28 @@ struct RingGenParams {
 /// Generates one ring benchmark.  Deterministic in the seed.
 Benchmark generate_ring(const RingGenParams& params);
 
+/// Parameters of the huge-scale generator: a full-SoC-sized die with a
+/// macro-heavy floorplan and row-based register placement, built
+/// procedurally in O(n) so sink counts of 100k+ (up to ~1M) stay cheap to
+/// generate.  This family exists to exercise the sub-quadratic geometry
+/// engine (interval-tree obstacle queries, kd/grid nearest-neighbour
+/// search) well past the ti5000 scale the flat scans topped out at.
+struct HugeGenParams {
+  std::string name = "huge";
+  Um die_w = 16800.0;
+  Um die_h = 12000.0;
+  int num_sinks = 100000;
+  int num_rows = 400;        ///< placement rows; density varies row to row
+  int num_obstacles = 150;   ///< hard macros (some spawned abutting)
+  double abut_fraction = 0.35;
+  Um obstacle_min = 200.0;
+  Um obstacle_max = 1000.0;
+  Ff sink_cap_min = 3.0;
+  Ff sink_cap_max = 20.0;
+  std::uint64_t seed = 1;
+};
+
+/// Generates one huge-scale benchmark.  Deterministic in the seed.
+Benchmark generate_huge(const HugeGenParams& params);
+
 }  // namespace contango

@@ -46,6 +46,46 @@ TEST(ObstacleSet, CrossedCompounds) {
   EXPECT_EQ(one.size(), 1u);
 }
 
+TEST(ObstacleSet, CompoundContainingNestedCompounds) {
+  // A U-shaped compound (three abutting rects) surrounding a separate small
+  // block: a point inside the small block belongs to the small block's
+  // compound, not to the U that encloses it geometrically.
+  ObstacleSet obs({Rect{0, 0, 10, 30},    // left arm of the U
+                   Rect{10, 0, 30, 10},   // base
+                   Rect{30, 0, 40, 30},   // right arm
+                   Rect{18, 15, 22, 20}});  // island inside the U's mouth
+  ASSERT_EQ(obs.compounds().size(), 2u);
+  const std::size_t u_shape = obs.compound_of(0);
+  const std::size_t island = obs.compound_of(3);
+  ASSERT_NE(u_shape, island);
+  EXPECT_EQ(obs.compound_containing(Point{20, 17}), island);
+  EXPECT_EQ(obs.compound_containing(Point{5, 15}), u_shape);
+  // Inside the U's mouth but outside the island: no rect contains it.
+  EXPECT_EQ(obs.compound_containing(Point{15, 25}), ObstacleSet::npos);
+}
+
+TEST(ObstacleSet, CompoundContainingAdjacentCompounds) {
+  // Two compounds meeting at a corner: containment is strict, so the
+  // shared corner and all boundary points belong to neither.
+  ObstacleSet obs({Rect{0, 0, 10, 10}, Rect{10, 10, 20, 20}});
+  ASSERT_EQ(obs.compounds().size(), 2u);
+  EXPECT_EQ(obs.compound_containing(Point{5, 5}), obs.compound_of(0));
+  EXPECT_EQ(obs.compound_containing(Point{15, 15}), obs.compound_of(1));
+  EXPECT_EQ(obs.compound_containing(Point{10, 10}), ObstacleSet::npos);
+  EXPECT_EQ(obs.compound_containing(Point{10, 5}), ObstacleSet::npos);
+
+  // Abutting rects form ONE compound; points on the shared internal edge
+  // are strictly inside the union, and the lowest-indexed containing rect
+  // decides — both report the same compound here by construction.
+  ObstacleSet fused({Rect{0, 0, 10, 10}, Rect{10, 0, 20, 10}});
+  ASSERT_EQ(fused.compounds().size(), 1u);
+  // The shared edge x=10 is on both rects' boundaries: strict containment
+  // fails for both, so even inside a compound the seam reports npos.
+  EXPECT_EQ(fused.compound_containing(Point{10, 5}), ObstacleSet::npos);
+  EXPECT_EQ(fused.compound_containing(Point{5, 5}), 0u);
+  EXPECT_EQ(fused.compound_containing(Point{15, 5}), 0u);
+}
+
 TEST(UnionContour, SingleRect) {
   const auto contour = union_contour({Rect{0, 0, 10, 20}});
   ASSERT_EQ(contour.size(), 4u);

@@ -10,11 +10,12 @@
 namespace contango {
 namespace {
 
-TEST(ScenarioRegistry, BuiltinHasTheSixStockFamilies) {
+TEST(ScenarioRegistry, BuiltinHasTheSevenStockFamilies) {
   const std::vector<std::string> names = ScenarioRegistry::builtin().names();
   const std::vector<std::string> expected = {"uniform",     "clustered",
                                              "ring",        "obstacle_dense",
-                                             "high_fanout", "mixed_cap"};
+                                             "high_fanout", "mixed_cap",
+                                             "huge"};
   EXPECT_EQ(names, expected);
   for (const auto& family : ScenarioRegistry::builtin().families()) {
     EXPECT_FALSE(family.description.empty());

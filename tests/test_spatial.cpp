@@ -1,0 +1,550 @@
+// Differential test harness of the spatial-index geometry engine
+// (geom/spatial.h): every index answer must equal the reference linear-scan
+// answer *exactly* — same booleans, same indices in the same order, same
+// floating-point bits — because the CONTANGO_SPATIAL knob promises
+// bit-identical flow results either way.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cts/dme.h"
+#include "cts/flow.h"
+#include "cts/scenario.h"
+#include "geom/obstacle_set.h"
+#include "geom/spatial.h"
+#include "util/rng.h"
+
+namespace contango {
+namespace {
+
+/// Scoped setenv/unsetenv so env tests cannot leak into other tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    setenv(name, value, 1);
+  }
+  ~ScopedEnv() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+/// Random rectangle with integer corners in [0, coord_max]^2 so that
+/// boundary-touching, abutting and exactly-colinear configurations occur
+/// with high probability.  min_dim 0 admits degenerate segment/point rects.
+Rect random_rect(Rng& rng, long coord_max, long min_dim) {
+  const long x0 = rng.uniform_int(0, coord_max - min_dim);
+  const long y0 = rng.uniform_int(0, coord_max - min_dim);
+  const long w = rng.uniform_int(min_dim, std::min(coord_max - x0, coord_max / 3));
+  const long h = rng.uniform_int(min_dim, std::min(coord_max - y0, coord_max / 3));
+  return Rect{static_cast<Um>(x0), static_cast<Um>(y0),
+              static_cast<Um>(x0 + w), static_cast<Um>(y0 + h)};
+}
+
+/// Query coordinate biased toward the "interesting" values: rectangle edge
+/// coordinates (boundary-touching probes) and their midpoints.
+double random_coord(Rng& rng, const std::vector<Rect>& rects, long coord_max) {
+  if (!rects.empty() && rng.unit() < 0.6) {
+    const Rect& r = rects[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<long>(rects.size()) - 1))];
+    switch (rng.uniform_int(0, 5)) {
+      case 0: return r.xlo;
+      case 1: return r.xhi;
+      case 2: return r.ylo;
+      case 3: return r.yhi;
+      case 4: return (r.xlo + r.xhi) / 2.0;
+      default: return (r.ylo + r.yhi) / 2.0;
+    }
+  }
+  return static_cast<double>(rng.uniform_int(0, coord_max));
+}
+
+HVSegment random_segment(Rng& rng, const std::vector<Rect>& rects,
+                         long coord_max) {
+  const double c0 = random_coord(rng, rects, coord_max);
+  const double c1 = random_coord(rng, rects, coord_max);
+  const double fixed = random_coord(rng, rects, coord_max);
+  // Mix horizontal, vertical and zero-length segments.
+  switch (rng.uniform_int(0, 4)) {
+    case 0: return HVSegment{Point{c0, fixed}, Point{c1, fixed}};
+    case 1: return HVSegment{Point{c1, fixed}, Point{c0, fixed}};
+    case 2: return HVSegment{Point{fixed, c0}, Point{fixed, c1}};
+    case 3: return HVSegment{Point{fixed, c1}, Point{fixed, c0}};
+    default: return HVSegment{Point{c0, fixed}, Point{c0, fixed}};  // zero-length
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RectIntervalIndex vs. a plain Rect::intersects scan (raw index layer).
+// ---------------------------------------------------------------------------
+
+TEST(SpatialDifferential, IntervalIndexMatchesLinearScan) {
+  Rng rng(20260808);
+  int cases = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(0, 40));
+    std::vector<Rect> rects;
+    for (int i = 0; i < n; ++i) {
+      // Degenerate (zero-width / zero-height) rects are legal Rects; the
+      // index must agree with the scan on them too.
+      rects.push_back(random_rect(rng, 20, rng.unit() < 0.2 ? 0 : 1));
+    }
+    // Exact duplicates stress the ascending-order contract.
+    if (n > 0 && rng.unit() < 0.5) rects.push_back(rects[0]);
+    const RectIntervalIndex index(rects);
+    ASSERT_EQ(index.size(), rects.size());
+
+    for (int q = 0; q < 20; ++q, ++cases) {
+      const Rect query = Rect::around(
+          Point{random_coord(rng, rects, 20), random_coord(rng, rects, 20)},
+          Point{random_coord(rng, rects, 20), random_coord(rng, rects, 20)});
+      std::vector<std::size_t> scan;
+      for (std::size_t i = 0; i < rects.size(); ++i) {
+        if (rects[i].intersects(query)) scan.push_back(i);
+      }
+      EXPECT_EQ(index.intersecting(query), scan)
+          << "trial " << trial << " query " << q;
+    }
+  }
+  EXPECT_GE(cases, 1000);
+}
+
+// ---------------------------------------------------------------------------
+// ObstacleSet: every public query, force-index vs. force-scan.
+// ---------------------------------------------------------------------------
+
+TEST(SpatialDifferential, ObstacleQueriesIndexEqualsScan) {
+  Rng rng(42);
+  int cases = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(0, 24));
+    std::vector<Rect> rects;
+    for (int i = 0; i < n; ++i) rects.push_back(random_rect(rng, 20, 1));
+    const ObstacleSet scan(rects, SpatialMode::kForceScan);
+    const ObstacleSet indexed(rects, SpatialMode::kForceIndex);
+    EXPECT_FALSE(scan.uses_index());
+    EXPECT_TRUE(indexed.uses_index());
+
+    // Construction-time grouping must be identical: same compounds, same
+    // member lists, same contours, same rect->compound map.
+    ASSERT_EQ(scan.compounds().size(), indexed.compounds().size());
+    for (std::size_t c = 0; c < scan.compounds().size(); ++c) {
+      EXPECT_EQ(scan.compounds()[c].rect_indices,
+                indexed.compounds()[c].rect_indices);
+      EXPECT_EQ(scan.compounds()[c].contour, indexed.compounds()[c].contour);
+    }
+    for (std::size_t i = 0; i < rects.size(); ++i) {
+      EXPECT_EQ(scan.compound_of(i), indexed.compound_of(i));
+    }
+    EXPECT_EQ(scan.union_area(), indexed.union_area());
+
+    for (int q = 0; q < 8; ++q, ++cases) {  // point queries
+      const Point p{random_coord(rng, rects, 20), random_coord(rng, rects, 20)};
+      EXPECT_EQ(scan.blocks_point(p), indexed.blocks_point(p));
+      EXPECT_EQ(scan.compound_containing(p), indexed.compound_containing(p));
+    }
+    for (int q = 0; q < 8; ++q, ++cases) {  // segment queries
+      const HVSegment seg = random_segment(rng, rects, 20);
+      EXPECT_EQ(scan.blocks_segment(seg), indexed.blocks_segment(seg));
+      // Exact FP equality: non-intersecting rects contribute exactly 0.0.
+      EXPECT_EQ(scan.blocked_length(seg), indexed.blocked_length(seg));
+      const auto crossed = scan.crossed_compounds(seg);
+      EXPECT_EQ(crossed, indexed.crossed_compounds(seg));
+      // Property: the compound list is sorted and duplicate-free.
+      EXPECT_TRUE(std::is_sorted(crossed.begin(), crossed.end()));
+      EXPECT_EQ(std::adjacent_find(crossed.begin(), crossed.end()),
+                crossed.end());
+    }
+    for (int q = 0; q < 2; ++q, ++cases) {  // rectilinear polylines
+      std::vector<Point> pts{
+          Point{random_coord(rng, rects, 20), random_coord(rng, rects, 20)}};
+      for (int leg = 0; leg < 3; ++leg) {
+        Point next = pts.back();
+        if (leg % 2 == 0) next.x = random_coord(rng, rects, 20);
+        else next.y = random_coord(rng, rects, 20);
+        pts.push_back(next);  // may include zero-length / colinear legs
+      }
+      EXPECT_EQ(scan.blocks_polyline(pts), indexed.blocks_polyline(pts));
+      EXPECT_EQ(scan.blocked_length(pts), indexed.blocked_length(pts));
+    }
+    for (int q = 0; q < 4; ++q, ++cases) {  // window queries (maze router)
+      const Rect window = Rect::around(
+          Point{random_coord(rng, rects, 20), random_coord(rng, rects, 20)},
+          Point{random_coord(rng, rects, 20), random_coord(rng, rects, 20)});
+      EXPECT_EQ(scan.rects_intersecting(window),
+                indexed.rects_intersecting(window));
+    }
+  }
+  EXPECT_GE(cases, 1000);
+}
+
+TEST(SpatialProperties, BlockedLengthBoundedOnDisjointSets) {
+  // blocked_length documents possible double counting on *overlapping*
+  // rects; on interior-disjoint sets it is a true sublength of the segment.
+  Rng rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Rect> rects;  // disjoint interiors: one rect per grid cell
+    for (long cx = 0; cx < 4; ++cx) {
+      for (long cy = 0; cy < 4; ++cy) {
+        if (rng.unit() < 0.5) continue;
+        const double x0 = 5.0 * static_cast<double>(cx);
+        const double y0 = 5.0 * static_cast<double>(cy);
+        rects.push_back(Rect{x0, y0, x0 + rng.uniform(1.0, 5.0),
+                             y0 + rng.uniform(1.0, 5.0)});
+      }
+    }
+    const ObstacleSet obs(rects, SpatialMode::kForceIndex);
+    for (int q = 0; q < 25; ++q) {
+      const HVSegment seg = random_segment(rng, rects, 20);
+      const Um blocked = obs.blocked_length(seg);
+      EXPECT_GE(blocked, 0.0);
+      EXPECT_LE(blocked, seg.length() + 1e-9);
+      if (blocked > 0.0) EXPECT_TRUE(obs.blocks_segment(seg));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Klee union-area sweep.
+// ---------------------------------------------------------------------------
+
+TEST(SpatialProperties, KleeUnionAreaMatchesCellCountingOnIntegerRects) {
+  Rng rng(99);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(0, 12));
+    std::vector<Rect> rects;
+    for (int i = 0; i < n; ++i) rects.push_back(random_rect(rng, 20, 0));
+    // Integer corners: the union area is exactly the number of covered unit
+    // cells, countable by brute force.
+    double cells = 0.0;
+    for (long x = 0; x < 20; ++x) {
+      for (long y = 0; y < 20; ++y) {
+        const Rect cell{static_cast<Um>(x), static_cast<Um>(y),
+                        static_cast<Um>(x + 1), static_cast<Um>(y + 1)};
+        for (const Rect& r : rects) {
+          if (r.overlaps_interior(cell)) {
+            cells += 1.0;
+            break;
+          }
+        }
+      }
+    }
+    const double area = klee_union_area(rects);
+    EXPECT_DOUBLE_EQ(area, cells) << "trial " << trial;
+
+    double sum = 0.0, largest = 0.0;
+    for (const Rect& r : rects) {
+      sum += r.area();
+      largest = std::max(largest, r.area());
+    }
+    EXPECT_LE(area, sum + 1e-9);
+    EXPECT_GE(area, largest - 1e-9);
+  }
+}
+
+TEST(SpatialProperties, KleeUnionAreaEdgeCases) {
+  EXPECT_EQ(klee_union_area({}), 0.0);
+  EXPECT_EQ(klee_union_area({Rect{3, 4, 3, 9}}), 0.0);  // degenerate
+  // Disjoint rects: union area equals the sum of areas.
+  EXPECT_DOUBLE_EQ(klee_union_area({Rect{0, 0, 2, 3}, Rect{5, 5, 9, 6}}), 10.0);
+  // Abutting rects share no area: still the sum.
+  EXPECT_DOUBLE_EQ(klee_union_area({Rect{0, 0, 2, 2}, Rect{2, 0, 4, 2}}), 8.0);
+  // A duplicate contributes nothing.
+  EXPECT_DOUBLE_EQ(klee_union_area({Rect{0, 0, 2, 2}, Rect{0, 0, 2, 2}}), 4.0);
+  // Nested rects: the outer one wins.
+  EXPECT_DOUBLE_EQ(klee_union_area({Rect{0, 0, 10, 10}, Rect{2, 2, 4, 4}}), 100.0);
+}
+
+// ---------------------------------------------------------------------------
+// Nearest-neighbour structures: exact (distance, id) argmin equality.
+// ---------------------------------------------------------------------------
+
+TEST(SpatialNn, TiltedKdTreeMatchesLinearScan) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 80));
+    std::vector<TiltedNnIndex::Entry> entries;
+    for (int i = 0; i < n; ++i) {
+      // Regions mirror DME merge regions: points, segments and inflated
+      // rectangles in tilted space; exact duplicates force distance ties.
+      TiltedRect region =
+          (i > 0 && rng.unit() < 0.15)
+              ? entries[static_cast<std::size_t>(rng.uniform_int(
+                            0, static_cast<long>(entries.size()) - 1))]
+                    .region
+              : TiltedRect::from_point(Point{rng.uniform(0.0, 100.0),
+                                             rng.uniform(0.0, 100.0)})
+                    .inflated(rng.unit() < 0.5 ? 0.0 : rng.uniform(0.0, 10.0));
+      entries.push_back({region, i});
+    }
+    const TiltedNnIndex index(entries);
+
+    std::vector<char> accepted(static_cast<std::size_t>(n), 1);
+    for (int i = 0; i < n; ++i) {
+      accepted[static_cast<std::size_t>(i)] = rng.unit() < 0.7 ? 1 : 0;
+    }
+    auto accept = [&](int id) { return accepted[static_cast<std::size_t>(id)] != 0; };
+
+    for (int q = 0; q < 25; ++q) {
+      const TiltedRect query =
+          rng.unit() < 0.3
+              ? entries[static_cast<std::size_t>(
+                            rng.uniform_int(0, n - 1))].region
+              : TiltedRect::from_point(
+                    Point{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+      // Reference: first-wins strict-improvement scan over ascending ids —
+      // the exact loop the CONTANGO_SPATIAL=0 DME pairing runs.
+      int best = -1;
+      double best_d = 0.0;
+      for (const auto& e : entries) {
+        if (!accept(e.id)) continue;
+        const double d = query.distance(e.region);
+        if (best < 0 || d < best_d) {
+          best = e.id;
+          best_d = d;
+        }
+      }
+      EXPECT_EQ(index.nearest(query, accept), best)
+          << "trial " << trial << " query " << q;
+    }
+  }
+}
+
+TEST(SpatialNn, PointGridMatchesLinearScanUnderInterleavedInserts) {
+  Rng rng(555);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Rect bounds{0, 0, 100, 80};
+    PointNnGrid grid(bounds, 64);
+    std::vector<Point> points;
+    auto insert_one = [&] {
+      Point p{rng.uniform(-10.0, 110.0), rng.uniform(-10.0, 90.0)};  // outliers too
+      if (!points.empty() && rng.unit() < 0.2) {
+        p = points[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<long>(points.size()) - 1))];  // duplicate: ties
+      }
+      grid.insert(p, static_cast<int>(points.size()));
+      points.push_back(p);
+    };
+    insert_one();
+    // Interleave inserts and queries the way the greedy NN attachment does.
+    for (int step = 0; step < 60; ++step) {
+      if (rng.unit() < 0.4) insert_one();
+      std::vector<char> accepted(points.size(), 1);
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        accepted[i] = rng.unit() < 0.8 ? 1 : 0;
+      }
+      auto accept = [&](int id) { return accepted[static_cast<std::size_t>(id)] != 0; };
+      const Point p{rng.uniform(0.0, 100.0), rng.uniform(0.0, 80.0)};
+      int best = -1;
+      double best_d = 0.0;
+      for (std::size_t i = 0; i < points.size(); ++i) {  // first-wins scan
+        if (!accepted[i]) continue;
+        const double d = manhattan(points[i], p);
+        if (best < 0 || d < best_d) {
+          best = static_cast<int>(i);
+          best_d = d;
+        }
+      }
+      EXPECT_EQ(grid.nearest(p, accept), best) << "trial " << trial;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// contour_walk: the O(V log V) sorted sweep vs. the former O(V^2)
+// repeated-minimum reference.
+// ---------------------------------------------------------------------------
+
+/// Reference implementation: successively pick the not-yet-emitted contour
+/// vertex with the smallest forward arc distance inside (s0, s1).
+std::vector<Point> contour_walk_reference(const std::vector<Point>& contour,
+                                          Um s0, Um s1) {
+  const Um total = contour_length(contour);
+  std::vector<Point> path;
+  if (total <= 0.0) return path;
+  auto norm = [&](Um s) {
+    s = std::fmod(s, total);
+    return s < 0.0 ? s + total : s;
+  };
+  s0 = norm(s0);
+  s1 = norm(s1);
+  path.push_back(contour_at(contour, s0));
+  const Um span = norm(s1 - s0);
+  Um s = 0.0;
+  std::vector<std::pair<Um, Point>> vertices;
+  for (std::size_t i = 0; i < contour.size(); ++i) {
+    vertices.emplace_back(norm(s - s0), contour[i]);
+    s += manhattan(contour[i], contour[(i + 1) % contour.size()]);
+  }
+  Um last = 0.0;
+  for (;;) {
+    const std::pair<Um, Point>* next = nullptr;
+    for (const auto& v : vertices) {
+      if (v.first <= last || v.first <= 1e-9 || v.first >= span - 1e-9) continue;
+      if (next == nullptr || v.first < next->first) next = &v;
+    }
+    if (next == nullptr) break;
+    last = next->first;
+    bool already = false;
+    for (std::size_t j = 1; j < path.size(); ++j) {
+      if (near(path[j], next->second)) already = true;
+    }
+    if (!already) path.push_back(next->second);
+  }
+  path.push_back(contour_at(contour, s1));
+  std::vector<Point> cleaned;
+  for (const Point& p : path) {
+    if (cleaned.empty() || !near(cleaned.back(), p)) cleaned.push_back(p);
+  }
+  return cleaned;
+}
+
+TEST(ContourWalk, SweepMatchesRepeatedMinimumReference) {
+  Rng rng(31337);
+  int compounds_seen = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Rect> rects;
+    const int n = static_cast<int>(rng.uniform_int(1, 10));
+    for (int i = 0; i < n; ++i) rects.push_back(random_rect(rng, 20, 1));
+    const ObstacleSet obs(rects, SpatialMode::kForceIndex);
+    for (const CompoundObstacle& compound : obs.compounds()) {
+      ++compounds_seen;
+      const Um total = contour_length(compound.contour);
+      for (int q = 0; q < 8; ++q) {
+        const Um s0 = rng.uniform(-total, 2.0 * total);  // wraps both ways
+        const Um s1 = q == 0 ? s0 : rng.uniform(-total, 2.0 * total);
+        const auto walk = contour_walk(compound.contour, s0, s1);
+        EXPECT_EQ(walk, contour_walk_reference(compound.contour, s0, s1))
+            << "trial " << trial << " s0=" << s0 << " s1=" << s1;
+        // Every interior waypoint is a contour vertex; the walk length
+        // equals the forward arc span (up to dedup tolerance).
+        for (std::size_t j = 1; j + 1 < walk.size(); ++j) {
+          EXPECT_NE(std::find_if(compound.contour.begin(),
+                                 compound.contour.end(),
+                                 [&](const Point& v) { return near(v, walk[j]); }),
+                    compound.contour.end());
+        }
+      }
+    }
+  }
+  EXPECT_GT(compounds_seen, 20);
+}
+
+// ---------------------------------------------------------------------------
+// Flow-level bit-identity: CONTANGO_SPATIAL=0 and =1 must produce the same
+// clock tree and the same metrics on every registered scenario family.
+// ---------------------------------------------------------------------------
+
+void expect_same_tree(const ClockTree& a, const ClockTree& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.root(), b.root());
+  for (NodeId id = 0; id < static_cast<NodeId>(a.size()); ++id) {
+    const TreeNode& na = a.node(id);
+    const TreeNode& nb = b.node(id);
+    EXPECT_EQ(na.kind, nb.kind) << "node " << id;
+    EXPECT_EQ(na.pos, nb.pos) << "node " << id;
+    EXPECT_EQ(na.parent, nb.parent) << "node " << id;
+    EXPECT_EQ(na.children, nb.children) << "node " << id;
+    EXPECT_EQ(na.route, nb.route) << "node " << id;
+    EXPECT_EQ(na.wire_width, nb.wire_width) << "node " << id;
+    EXPECT_EQ(na.snake, nb.snake) << "node " << id;  // exact FP equality
+    EXPECT_EQ(na.sink_index, nb.sink_index) << "node " << id;
+    EXPECT_TRUE(na.buffer == nb.buffer) << "node " << id;
+  }
+}
+
+void expect_same_result(const FlowResult& a, const FlowResult& b,
+                        const std::string& family) {
+  SCOPED_TRACE(family);
+  expect_same_tree(a.tree, b.tree);
+  // Exact FP equality on every reported metric — the CONTANGO_SPATIAL
+  // contract is bit-identity, not tolerance.
+  EXPECT_EQ(a.eval.nominal_skew, b.eval.nominal_skew);
+  EXPECT_EQ(a.eval.clr, b.eval.clr);
+  EXPECT_EQ(a.eval.max_latency, b.eval.max_latency);
+  EXPECT_EQ(a.eval.worst_slew, b.eval.worst_slew);
+  EXPECT_EQ(a.eval.total_cap, b.eval.total_cap);
+  EXPECT_EQ(a.eval.legal(), b.eval.legal());
+  EXPECT_EQ(a.sim_runs, b.sim_runs);
+  EXPECT_EQ(a.full_evals, b.full_evals);
+  EXPECT_EQ(a.incremental_evals, b.incremental_evals);
+  EXPECT_TRUE(a.buffer == b.buffer);
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (std::size_t s = 0; s < a.stages.size(); ++s) {
+    EXPECT_EQ(a.stages[s].name, b.stages[s].name);
+    EXPECT_EQ(a.stages[s].skew, b.stages[s].skew);
+    EXPECT_EQ(a.stages[s].clr, b.stages[s].clr);
+    EXPECT_EQ(a.stages[s].max_latency, b.stages[s].max_latency);
+    EXPECT_EQ(a.stages[s].cap, b.stages[s].cap);
+    EXPECT_EQ(a.stages[s].sim_runs, b.stages[s].sim_runs);
+  }
+}
+
+TEST(SpatialFlow, BitIdenticalOnEveryRegisteredFamily) {
+  for (const std::string& family : ScenarioRegistry::builtin().names()) {
+    FlowResult with_scan, with_index;
+    {
+      // Fresh Benchmark inside each scope: Benchmark::obstacles() caches
+      // the ObstacleSet, which samples the knob at construction.
+      ScopedEnv off("CONTANGO_SPATIAL", "0");
+      const Benchmark bench = make_scenario(family, 11, 48);
+      with_scan = run_contango(bench);
+    }
+    {
+      ScopedEnv on("CONTANGO_SPATIAL", "1");
+      const Benchmark bench = make_scenario(family, 11, 48);
+      with_index = run_contango(bench);
+    }
+    expect_same_result(with_scan, with_index, family);
+  }
+}
+
+TEST(SpatialFlow, DmeTopologyIdenticalSpatialOnOff) {
+  // The DME pairing is the subtlest consumer of the NN index: the kd-tree
+  // must reproduce the scan's nearest-neighbour graph *including tie-break
+  // order*, or the greedy matching (and the whole topology) diverges.
+  const Benchmark bench = make_scenario("clustered", 3, 400);
+  ClockTree scan_tree, index_tree;
+  {
+    ScopedEnv off("CONTANGO_SPATIAL", "0");
+    scan_tree = build_zst(bench);
+  }
+  {
+    ScopedEnv on("CONTANGO_SPATIAL", "1");
+    index_tree = build_zst(bench);
+  }
+  expect_same_tree(scan_tree, index_tree);
+}
+
+// ---------------------------------------------------------------------------
+// Knob plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(SpatialKnob, EnvControlsAutoModeAndForcedModesIgnoreIt) {
+  const std::vector<Rect> rects{Rect{0, 0, 5, 5}};
+  {
+    ScopedEnv off("CONTANGO_SPATIAL", "0");
+    EXPECT_FALSE(spatial_index_enabled());
+    EXPECT_EQ(resolve_spatial_mode(SpatialMode::kAuto), SpatialMode::kForceScan);
+    EXPECT_FALSE(ObstacleSet(rects, SpatialMode::kAuto).uses_index());
+    EXPECT_TRUE(ObstacleSet(rects, SpatialMode::kForceIndex).uses_index());
+  }
+  {
+    ScopedEnv on("CONTANGO_SPATIAL", "1");
+    EXPECT_TRUE(spatial_index_enabled());
+    EXPECT_EQ(resolve_spatial_mode(SpatialMode::kAuto), SpatialMode::kForceIndex);
+    EXPECT_TRUE(ObstacleSet(rects, SpatialMode::kAuto).uses_index());
+    EXPECT_FALSE(ObstacleSet(rects, SpatialMode::kForceScan).uses_index());
+  }
+  unsetenv("CONTANGO_SPATIAL");  // default: on
+  EXPECT_TRUE(spatial_index_enabled());
+  EXPECT_TRUE(ObstacleSet(rects).uses_index());
+}
+
+}  // namespace
+}  // namespace contango
