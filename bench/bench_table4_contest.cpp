@@ -34,6 +34,7 @@
 #include "netlist/generators.h"
 #include "util/env.h"
 #include "util/parallel.h"
+#include "util/signal.h"
 
 using namespace contango;
 
@@ -66,6 +67,12 @@ int main() {
   }
   const int threads = options.threads;
 
+  // ^C / SIGTERM stop the suite at the next safe boundary instead of
+  // killing the process mid-write; the partial table and JSON report
+  // (remaining rows marked CANCELLED) still come out.
+  install_signal_cancel();
+  options.flow.cancel = signal_cancel_token();
+
   std::vector<Benchmark> suite;
   const std::string workloads = env_string("CONTANGO_WORKLOADS", "");
   if (!workloads.empty()) {
@@ -89,6 +96,13 @@ int main() {
   } catch (const std::exception& e) {  // e.g. CONTANGO_JSON_OUT unwritable
     std::fprintf(stderr, "bench_table4_contest: %s\n", e.what());
     return 1;
+  }
+
+  if (signal_cancel_token().cancelled()) {
+    std::printf("%s\n", contango.table().c_str());
+    std::fprintf(stderr, "bench_table4_contest: interrupted; partial "
+                         "Contango results above, baselines skipped\n");
+    return 128 + signal_received();
   }
 
   std::vector<BaselineRow> baselines(suite.size());

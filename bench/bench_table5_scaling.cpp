@@ -32,6 +32,7 @@
 #include "cts/suite.h"
 #include "netlist/generators.h"
 #include "util/env.h"
+#include "util/signal.h"
 
 using namespace contango;
 
@@ -80,9 +81,13 @@ int main() {
     std::fprintf(stderr, "bad environment: %s\n", e.what());
     return 1;
   }
+  // ^C / SIGTERM stop the sweep at the next benchmark/pass boundary with
+  // the finished rows (and the JSON report) intact.
+  install_signal_cancel();
+  options.flow.cancel = signal_cancel_token();
   options.on_run_done = [](const SuiteRun& run) {  // progress per finished run
     std::printf("  done %-8s %6.1f s%s\n", run.benchmark.c_str(), run.seconds,
-                run.ok ? "" : " (FAILED)");
+                run.ok ? "" : run.cancelled ? " (cancelled)" : " (FAILED)");
     std::fflush(stdout);
   };
   SuiteReport report;
@@ -113,6 +118,11 @@ int main() {
   std::printf("Set CONTANGO_MAX_SINKS=50000 to run the paper's full sweep.\n");
   if (!options.json_report_path.empty()) {
     std::printf("JSON report written to %s\n", options.json_report_path.c_str());
+  }
+  if (signal_cancel_token().cancelled()) {
+    std::fprintf(stderr, "bench_table5_scaling: interrupted; partial results "
+                         "above\n");
+    return 128 + signal_received();
   }
   return report.all_ok() ? 0 : 1;
 }

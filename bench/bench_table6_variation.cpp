@@ -31,6 +31,7 @@
 #include "cts/suite.h"
 #include "io/table.h"
 #include "util/env.h"
+#include "util/signal.h"
 
 using namespace contango;
 
@@ -49,6 +50,11 @@ int main() {
     std::fprintf(stderr, "CONTANGO_MC_TRIALS must be positive for this bench\n");
     return 1;
   }
+  // ^C / SIGTERM stop the study at the next benchmark/pass boundary; the
+  // finished rows and the JSON report survive.
+  install_signal_cancel();
+  options.flow.cancel = signal_cancel_token();
+
   options.variation.sigma_wire_r = env_double("CONTANGO_MC_SIGMA_WIRE", 0.03);
   options.variation.sigma_wire_c = options.variation.sigma_wire_r;
   options.variation.sigma_sink_cap = env_double("CONTANGO_MC_SIGMA_SINK", 0.02);
@@ -98,6 +104,11 @@ int main() {
               report.total_scalar_stage_evals());
   if (!options.json_report_path.empty()) {
     std::printf("JSON report written to %s\n", options.json_report_path.c_str());
+  }
+  if (signal_cancel_token().cancelled()) {
+    std::fprintf(stderr, "bench_table6_variation: interrupted; partial "
+                         "results above\n");
+    return 128 + signal_received();
   }
   return report.all_ok() ? 0 : 1;
 }

@@ -42,7 +42,23 @@ int main(int argc, char** argv) {
   std::printf("suite: %zu benchmarks, %d worker threads\npipeline: %s\n\n",
               suite.size(), threads,
               resolved_pipeline_spec(options.flow).c_str());
+  // Live progress through the runner's hooks: one line when a worker picks
+  // a benchmark up, one when it finishes.  Both hooks are serialized by the
+  // runner, so plain printf needs no locking here.
+  options.on_run_start = [](const SuiteRun& run) {
+    std::printf("  start %-8s (%d sinks, hash %.16s...)\n",
+                run.benchmark.c_str(), run.num_sinks,
+                run.benchmark_hash.c_str());
+    std::fflush(stdout);
+  };
+  options.on_run_done = [](const SuiteRun& run) {
+    std::printf("  done  %-8s %5.1f s%s\n", run.benchmark.c_str(), run.seconds,
+                run.ok ? "" : " (FAILED)");
+    std::fflush(stdout);
+  };
   const SuiteReport parallel = run_suite(suite, options);
+  options.on_run_start = nullptr;  // the serial rerun below stays quiet
+  options.on_run_done = nullptr;
   std::printf("%s\n", parallel.table().c_str());
   std::printf("parallel: %.1f s wall, %.1f s CPU\n\n", parallel.wall_seconds,
               parallel.cpu_seconds());

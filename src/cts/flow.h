@@ -9,6 +9,7 @@
 #include "cts/vanginneken.h"
 #include "netlist/benchmark.h"
 #include "rctree/clocktree.h"
+#include "util/cancel.h"
 
 namespace contango {
 
@@ -47,6 +48,15 @@ struct FlowOptions {
   /// sequence implied by the stage switches above.  Suite drivers bind this
   /// to the CONTANGO_PIPELINE env knob.
   std::string pipeline;
+
+  /// Cooperative cancellation (util/cancel.h).  The pipeline polls this
+  /// token at every pass boundary and throws CancelledError when it fired,
+  /// so an in-flight flow stops with the tree and all reports consistent;
+  /// the suite runner additionally polls it between benchmarks and marks
+  /// affected runs `cancelled`.  The default token is inert (never fires).
+  /// Producers: the service daemon's cancel endpoint (src/service/) and the
+  /// SIGINT/SIGTERM bridge of the bench binaries (util/signal.h).
+  CancelToken cancel;
 
   /// Evaluate IVC candidates through the incremental engine (persistent
   /// RcNetlist + cached Elmore/transient state re-propagated along dirty

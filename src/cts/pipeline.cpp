@@ -200,6 +200,13 @@ FlowResult Pipeline::run(const Benchmark& bench, const FlowOptions& options) {
   ctx.result.pipeline_spec = spec_;
 
   for (const auto& pass : passes_) {
+    // Pass boundaries are the flow's cancellation points: the tree, the
+    // incremental engine and the accumulated result are all consistent
+    // here, so stopping loses nothing but the passes that never ran.
+    if (options.cancel.cancelled()) {
+      throw CancelledError("flow cancelled before pass '" +
+                           std::string(pass->name()) + "'");
+    }
     const bool gated = pass->objective() != PassObjective::kNone;
     // The first optimization pass needs an incumbent to improve on; the
     // evaluation it triggers is the INITIAL snapshot (a Table III row).

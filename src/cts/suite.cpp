@@ -9,6 +9,8 @@
 #include "cts/scenario.h"
 #include "io/json.h"
 #include "io/table.h"
+#include "netlist/io.h"
+#include "util/cancel.h"
 #include "util/env.h"
 #include "util/log.h"
 #include "util/parallel.h"
@@ -91,7 +93,7 @@ std::string SuiteReport::table() const {
   for (const SuiteRun& r : runs) {
     if (!r.ok) {
       table.add_row({r.benchmark, std::to_string(r.num_sinks),
-                     "FAILED: " + r.error});
+                     r.cancelled ? "CANCELLED" : "FAILED: " + r.error});
       continue;
     }
     const long batched = r.result.batched_stage_evals +
@@ -136,11 +138,13 @@ std::string SuiteReport::to_json() const {
     w.begin_object();
     w.kv("benchmark", r.benchmark);
     w.kv("num_sinks", static_cast<long>(r.num_sinks));
+    w.kv("benchmark_hash", r.benchmark_hash);
     w.kv("num_obstacle_rects", static_cast<long>(r.num_obstacle_rects));
     w.kv("num_obstacle_compounds", static_cast<long>(r.num_obstacle_compounds));
     w.kv("obstacle_union_area_um2", r.obstacle_union_area_um2);
     w.kv("obstacle_density", r.obstacle_density);
     w.kv("ok", r.ok);
+    w.kv("cancelled", r.cancelled);
     if (!r.ok) {
       w.kv("error", r.error);
       w.end_object();
@@ -259,11 +263,26 @@ SuiteReport run_suite(const std::vector<Benchmark>& suite,
       run.obstacle_density = bench.die.area() > 0.0
                                  ? obstacles.union_area() / bench.die.area()
                                  : 0.0;
+      run.benchmark_hash = benchmark_content_hash(bench).hex();
+      if (options.on_run_start) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        options.on_run_start(run);
+      }
       Timer run_timer;
+      const auto mark_cancelled = [&run] {
+        run.ok = false;
+        run.cancelled = true;
+        run.error = "cancelled";
+      };
       try {
+        // Benchmark boundaries are suite-level cancellation points; the
+        // pipeline adds pass-boundary points of its own (both poll
+        // flow.cancel), so a cancelled suite drains in at most one pass.
+        if (flow.cancel.cancelled()) throw CancelledError();
         run.result = run_contango(bench, flow);
         run.ok = true;
         if (options.mc_trials > 0) {
+          if (flow.cancel.cancelled()) throw CancelledError();
           // The suite already fans across benchmarks, so the MC pass runs
           // serially inside its worker; MC reports are thread-count
           // invariant anyway, this only avoids oversubscription.
@@ -275,6 +294,8 @@ SuiteReport run_suite(const std::vector<Benchmark>& suite,
           run.mc = run_montecarlo(bench, run.result.tree, options.variation, mc);
           run.has_mc = true;
         }
+      } catch (const CancelledError&) {
+        mark_cancelled();
       } catch (const std::exception& e) {
         run.ok = false;
         run.error = e.what();
@@ -326,6 +347,7 @@ std::vector<std::string> unknown_contango_env_vars() {
       "CONTANGO_PIPELINE",
       "CONTANGO_SCENARIO",
       "CONTANGO_SEED",
+      "CONTANGO_SOCKET",
       "CONTANGO_SPATIAL",
       "CONTANGO_TABLE3_BENCHMARKS",
       "CONTANGO_TABLE4_BENCHMARKS",

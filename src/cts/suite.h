@@ -62,13 +62,32 @@ struct SuiteOptions {
   /// Progress hook invoked once per finished run (completion order, which
   /// may differ from input order).  Calls are serialized by the runner, so
   /// the callback may print without its own locking.  Leave empty for none.
+  /// The service daemon streams its per-benchmark `progress` events from
+  /// this hook; example_parallel_suite prints live progress with it.
   std::function<void(const SuiteRun&)> on_run_done;
+
+  /// Progress hook invoked when a worker picks a benchmark up, before any
+  /// synthesis work.  Only the identification fields of the run (benchmark,
+  /// num_sinks, benchmark_hash, obstacle stats) are filled at that point.
+  /// Serialized with on_run_done by the same lock.
+  std::function<void(const SuiteRun&)> on_run_start;
+
+  // Cancellation note: the runner polls `flow.cancel` (util/cancel.h)
+  // before each benchmark — and the pipeline polls it at pass boundaries —
+  // so a cancelled suite finishes quickly with the remaining runs marked
+  // `cancelled` and the report (incl. CONTANGO_JSON_OUT) still written.
 };
 
 /// Outcome of one benchmark inside a suite run.
 struct SuiteRun {
   std::string benchmark;  ///< Benchmark::name
   int num_sinks = 0;
+
+  /// Stable content hash of the benchmark (hex of
+  /// benchmark_content_hash(), netlist/io.h): identical across platforms
+  /// and across generated-vs-reparsed copies of the same instance, so
+  /// downstream tooling can correlate reports of the same workload.
+  std::string benchmark_hash;
 
   /// Obstacle-density statistics of the benchmark floorplan (filled for
   /// every run, even failed ones).  The union area comes from the Klee
@@ -82,6 +101,12 @@ struct SuiteRun {
   double seconds = 0.0;  ///< wall time of this run on its worker
   bool ok = false;       ///< false when the flow threw; see `error`
   std::string error;
+
+  /// True when this run was stopped by the suite's cancellation token
+  /// (flow.cancel) — either before it started or at a pass boundary —
+  /// rather than failing on its own.  Cancelled runs have ok == false and
+  /// error == "cancelled".
+  bool cancelled = false;
 
   bool has_mc = false;  ///< true when the Monte-Carlo pass ran for this run
   McReport mc;          ///< valid when has_mc

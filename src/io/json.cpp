@@ -1,8 +1,11 @@
 #include "io/json.h"
 
 #include <charconv>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 
@@ -121,6 +124,436 @@ std::string JsonWriter::number(double v) {
   char buf[40];
   const std::to_chars_result res = std::to_chars(buf, buf + sizeof(buf), v);
   return std::string(buf, res.ptr);
+}
+
+// ------------------------------------------------------------- JsonValue --
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_number(double v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.number_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_integer(long long v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.number_ = static_cast<double>(v);
+  out.has_integer_ = true;
+  out.integer_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  out.items_ = std::move(items);
+  return out;
+}
+
+JsonValue JsonValue::make_object(std::vector<Member> members) {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  out.members_ = std::move(members);
+  return out;
+}
+
+namespace {
+
+const char* kind_name(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void kind_mismatch(const char* wanted, JsonValue::Kind got) {
+  throw std::runtime_error(std::string("JsonValue: expected ") + wanted +
+                           ", got " + kind_name(got));
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) kind_mismatch("bool", kind_);
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::kNumber) kind_mismatch("number", kind_);
+  return number_;
+}
+
+long long JsonValue::as_long() const {
+  if (kind_ != Kind::kNumber) kind_mismatch("number", kind_);
+  if (has_integer_) return integer_;
+  // A double-valued token (1e3, 2.0): accept only exact in-range integers.
+  if (std::floor(number_) != number_ ||
+      !(number_ >= -9223372036854775808.0 && number_ < 9223372036854775808.0)) {
+    throw std::runtime_error("JsonValue: number " + JsonWriter::number(number_) +
+                             " is not a 64-bit integer");
+  }
+  return static_cast<long long>(number_);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) kind_mismatch("string", kind_);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::kArray) kind_mismatch("array", kind_);
+  return items_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  if (kind_ != Kind::kObject) kind_mismatch("object", kind_);
+  return members_;
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return items_.size();
+  if (kind_ == Kind::kObject) return members_.size();
+  return 0;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) kind_mismatch("object", kind_);
+  for (const Member& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+bool JsonValue::bool_or(const std::string& key, bool fallback) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_bool()) throw std::runtime_error("key '" + key + "' is not a bool");
+  return v->bool_;
+}
+
+double JsonValue::number_or(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    throw std::runtime_error("key '" + key + "' is not a number");
+  }
+  return v->number_;
+}
+
+long long JsonValue::long_or(const std::string& key, long long fallback) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) return fallback;
+  return v->as_long();  // checked: throws on non-number / non-integer
+}
+
+std::string JsonValue::string_or(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_string()) {
+    throw std::runtime_error("key '" + key + "' is not a string");
+  }
+  return v->string_;
+}
+
+// ---------------------------------------------------------------- parser --
+
+namespace {
+
+/// Recursive-descent RFC 8259 parser over a complete in-memory document.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    // Column counts bytes since the last newline; good enough for protocol
+    // lines, which are ASCII except inside string literals.
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw JsonParseError(line, column, message);
+  }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return;
+      ++pos_;
+    }
+  }
+
+  void expect(char c, const char* what) {
+    if (at_end() || peek() != c) fail(std::string("expected ") + what);
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t n = std::strlen(literal);
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than 128 levels");
+    skip_whitespace();
+    if (at_end()) fail("unexpected end of input (expected a value)");
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue::make_string(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue::make_bool(true);
+        fail("invalid literal (expected 'true')");
+      case 'f':
+        if (consume_literal("false")) return JsonValue::make_bool(false);
+        fail("invalid literal (expected 'false')");
+      case 'n':
+        if (consume_literal("null")) return JsonValue();
+        fail("invalid literal (expected 'null')");
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{', "'{'");
+    std::vector<JsonValue::Member> members;
+    skip_whitespace();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    for (;;) {
+      skip_whitespace();
+      if (at_end() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':', "':' after object key");
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      if (at_end()) fail("unterminated object (expected ',' or '}')");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}', "',' or '}' in object");
+      return JsonValue::make_object(std::move(members));
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[', "'['");
+    std::vector<JsonValue> items;
+    skip_whitespace();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    for (;;) {
+      items.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (at_end()) fail("unterminated array (expected ',' or ']')");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']', "',' or ']' in array");
+      return JsonValue::make_array(std::move(items));
+    }
+  }
+
+  void append_utf8(std::string* out, unsigned code_point) {
+    if (code_point < 0x80) {
+      *out += static_cast<char>(code_point);
+    } else if (code_point < 0x800) {
+      *out += static_cast<char>(0xC0 | (code_point >> 6));
+      *out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else if (code_point < 0x10000) {
+      *out += static_cast<char>(0xE0 | (code_point >> 12));
+      *out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (code_point >> 18));
+      *out += static_cast<char>(0x80 | ((code_point >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code_point & 0x3F));
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  std::string parse_string() {
+    expect('"', "'\"'");
+    std::string out;
+    for (;;) {
+      if (at_end()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) fail("unterminated escape sequence");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code_point = parse_hex4();
+          if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("high surrogate not followed by \\u low surrogate");
+            }
+            pos_ += 2;
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("invalid low surrogate in \\u pair");
+            }
+            code_point = 0x10000 + ((code_point - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+            fail("lone low surrogate in \\u escape");
+          }
+          append_utf8(&out, code_point);
+          break;
+        }
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    // Integer part: one zero, or a nonzero digit followed by digits.
+    if (at_end() || peek() < '0' || peek() > '9') fail("malformed number");
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    bool integral = true;
+    if (!at_end() && peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        fail("malformed number (digits must follow '.')");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        fail("malformed number (digits must follow exponent)");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    // "-0" must stay a double: as a long the sign bit is gone, and the
+    // writer<->parser round trip promises to preserve double bits.
+    if (integral && token != "-0") {
+      // Keep 64-bit-exact integers exact (ids, seeds); out-of-range integer
+      // tokens degrade to the nearest double like every other number.
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return JsonValue::make_integer(v);
+      }
+    }
+    // std::from_chars is locale-independent (strtod would honor LC_NUMERIC)
+    // and the exact inverse of JsonWriter::number, so writer output parses
+    // back to the same double bits.
+    double v = 0.0;
+    const std::from_chars_result res =
+        std::from_chars(token.data(), token.data() + token.size(), v);
+    if (res.ec != std::errc() || res.ptr != token.data() + token.size()) {
+      fail("malformed number");
+    }
+    return JsonValue::make_number(v);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse_document();
 }
 
 void write_text_file(const std::string& path, const std::string& content) {

@@ -1,24 +1,31 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace contango {
 
 /// \file json.h
-/// \brief Minimal dependency-free JSON writer for machine-readable reports.
+/// \brief Minimal dependency-free JSON writer + parser.
 ///
 /// The experiment harness renders human tables through io/table; this is
 /// the machine-readable counterpart: suite and Monte-Carlo reports
 /// serialize through JsonWriter so CI can record a perf trajectory
 /// (CONTANGO_JSON_OUT) and downstream tooling can parse results without
-/// scraping text tables.
+/// scraping text tables.  The parser half (JsonValue / parse_json) exists
+/// for the service layer: contangod's newline-delimited JSON protocol
+/// (src/service/) decodes requests and events with it.
 ///
-/// Writer, not parser: the library only ever *emits* JSON.  Output is
-/// deterministic and locale-independent — keys appear in call order,
-/// doubles print with the shortest representation that round-trips to the
-/// same bits, and NaN/Inf (not representable in JSON) emit null.
+/// Writer output is deterministic and locale-independent — keys appear in
+/// call order, doubles print with the shortest representation that
+/// round-trips to the same bits, and NaN/Inf (not representable in JSON)
+/// emit null.  parse_json() accepts exactly RFC 8259 documents and round-
+/// trips every writer output: numbers parse back to the same double bits,
+/// and integers up to 64 bits survive exactly (as_long reads the original
+/// token, not the double).
 ///
 /// Usage:
 ///
@@ -86,5 +93,99 @@ class JsonWriter {
 /// Writes `content` to `path`, replacing the file.  Throws
 /// std::runtime_error naming the path when the file cannot be written.
 void write_text_file(const std::string& path, const std::string& content);
+
+/// \brief Malformed-JSON rejection with source position.
+///
+/// what() reads like `json:3:17: expected ':' after object key`; line and
+/// column are 1-based and also available structurally for tooling.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(std::size_t line, std::size_t column, const std::string& message)
+      : std::runtime_error("json:" + std::to_string(line) + ":" +
+                           std::to_string(column) + ": " + message),
+        line_(line),
+        column_(column) {}
+
+  std::size_t line() const { return line_; }
+  std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// \brief One parsed JSON value (a tree; children are owned).
+///
+/// Object members keep document order and may be looked up by key; numbers
+/// carry both the double value and, when the token was a 64-bit-exact
+/// integer, the original integer (so ids and seeds survive round trips that
+/// a double cannot represent).  Accessors are checked: as_*() on the wrong
+/// kind throws std::runtime_error naming both kinds.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;  ///< null
+
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_integer(long long v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::vector<Member> members);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const;
+  double as_number() const;
+
+  /// The number as a 64-bit integer.  Exact for integer tokens; a double
+  /// that is integral and in range converts, anything else throws.
+  long long as_long() const;
+
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;      ///< array elements
+  const std::vector<Member>& members() const;       ///< object members, in order
+
+  /// Array or object element count; 0 for scalars.
+  std::size_t size() const;
+
+  /// Object lookup; nullptr when `key` is absent (first match on the rare
+  /// duplicate key).  Throws when this value is not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Typed object lookups with defaults: absent key -> fallback, present
+  /// key of the wrong type -> std::runtime_error naming the key.
+  bool bool_or(const std::string& key, bool fallback) const;
+  double number_or(const std::string& key, double fallback) const;
+  long long long_or(const std::string& key, long long fallback) const;
+  std::string string_or(const std::string& key, const std::string& fallback) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  bool has_integer_ = false;
+  long long integer_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+/// \brief Parses one complete JSON document.
+///
+/// Strict RFC 8259: rejects trailing content after the document, comments,
+/// unquoted keys, trailing commas, control characters inside strings, lone
+/// surrogates, and malformed numbers.  Nesting beyond 128 levels is
+/// rejected (protocol messages are shallow; this bounds parser recursion).
+/// \throws JsonParseError with 1-based line/column on any syntax error
+JsonValue parse_json(const std::string& text);
 
 }  // namespace contango

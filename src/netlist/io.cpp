@@ -236,4 +236,10 @@ void write_benchmark_file(const Benchmark& bench, const std::string& path) {
   write_benchmark(bench, out);
 }
 
+Hash128 benchmark_content_hash(const Benchmark& bench) {
+  std::ostringstream text;
+  write_benchmark(bench, text);
+  return fnv1a128(text.str());
+}
+
 }  // namespace contango

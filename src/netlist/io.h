@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "netlist/benchmark.h"
+#include "util/hash.h"
 
 namespace contango {
 
@@ -107,5 +108,15 @@ void write_benchmark(const Benchmark& bench, std::ostream& out);
 /// \brief Writes a benchmark to a `.bench` file on disk.
 /// \throws std::runtime_error when the file cannot be created
 void write_benchmark_file(const Benchmark& bench, const std::string& path);
+
+/// \brief Stable 128-bit content hash of a benchmark (util/hash.h).
+///
+/// The digest is FNV-1a-128 over the canonical `.bench` serialization
+/// (write_benchmark), so it is platform-portable, identical for a
+/// generated scenario and its exported-then-reparsed file, and changes
+/// whenever any information content of the benchmark changes.  Suite
+/// reports carry it per run as `benchmark_hash`, and the service layer
+/// folds it into result-cache keys.
+Hash128 benchmark_content_hash(const Benchmark& bench);
 
 }  // namespace contango

@@ -1,0 +1,104 @@
+#include "service/cache.h"
+
+#include <sstream>
+
+#include "cts/pipeline.h"
+#include "netlist/io.h"
+
+namespace contango {
+
+Hash128 job_content_hash(const std::vector<Benchmark>& benchmarks,
+                         const SuiteOptions& options) {
+  Hasher h;
+  // Version tag first: bumping it invalidates every old key when the
+  // schema of this function changes.
+  h.update_field("contango-job-v1");
+
+  // Workload: canonical `.bench` bytes per benchmark, length-prefixed so
+  // [AB] and [A, B] cannot collide.  A generated scenario and its
+  // exported-then-reparsed file hash identically (write_benchmark is a
+  // deterministic round-trip).
+  h.update_u64(benchmarks.size());
+  for (const Benchmark& bench : benchmarks) {
+    std::ostringstream text;
+    write_benchmark(bench, text);
+    h.update_field(text.str());
+  }
+
+  // The pipeline that will actually run: SuiteOptions::pipeline_spec
+  // overrides flow.pipeline, and an empty spec resolves to the default
+  // sequence implied by the stage switches — hash the resolved form so
+  // "" and an explicit "dme,repair,insert,polarity,..." share a key.
+  FlowOptions flow = options.flow;
+  if (!options.pipeline_spec.empty()) flow.pipeline = options.pipeline_spec;
+  h.update_field(resolved_pipeline_spec(flow));
+
+  // Result-affecting flow numerics.  threads / incremental / batch /
+  // spatial are deliberately absent: those execution modes are
+  // bit-identical by construction.
+  h.update_u64(static_cast<std::uint64_t>(flow.max_ladder));
+  h.update_double(flow.power_reserve);
+  h.update_u64(static_cast<std::uint64_t>(flow.max_sizing_rounds));
+  h.update_u64(static_cast<std::uint64_t>(flow.max_snaking_rounds));
+  h.update_u64(static_cast<std::uint64_t>(flow.max_bottom_rounds));
+  h.update_u64(static_cast<std::uint64_t>(flow.max_buffer_sizing_iters));
+  h.update_u64(static_cast<std::uint64_t>(flow.branch_levels));
+  h.update_double(flow.snake_unit);
+  h.update_double(flow.bottom_unit);
+  h.update_double(flow.insertion.spacing);
+  h.update_double(flow.insertion.slew_margin);
+  h.update_u64(flow.insertion.fast_merge ? 1 : 0);
+  h.update_u64(static_cast<std::uint64_t>(flow.insertion.max_options));
+  h.update_double(flow.eval.source_input_slew);
+
+  // Monte-Carlo configuration.  The variation model and targets are inert
+  // when trials == 0, so they only contribute then — a plain run and the
+  // same run with unused MC sigmas share one entry.
+  h.update_u64(static_cast<std::uint64_t>(options.mc_trials));
+  if (options.mc_trials > 0) {
+    h.update_double(options.variation.sigma_vdd);
+    h.update_double(options.variation.sigma_wire_r);
+    h.update_double(options.variation.sigma_wire_c);
+    h.update_double(options.variation.sigma_sink_cap);
+    h.update_u64(options.variation.seed);
+    h.update_double(options.mc_skew_target);
+  }
+  return h.digest();
+}
+
+bool ResultCache::lookup(const Hash128& key, std::string* report_json) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key.hex());
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  *report_json = it->second;
+  return true;
+}
+
+void ResultCache::store(const Hash128& key, const std::string& report_json) {
+  if (max_entries_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string hex = key.hex();
+  if (entries_.count(hex)) return;  // first-wins
+  while (entries_.size() >= max_entries_) {
+    entries_.erase(order_.front());
+    order_.pop_front();
+  }
+  entries_.emplace(hex, report_json);
+  order_.push_back(std::move(hex));
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.entries = entries_.size();
+  s.max_entries = max_entries_;
+  return s;
+}
+
+}  // namespace contango

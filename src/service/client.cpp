@@ -1,0 +1,129 @@
+#include "service/client.h"
+
+#include "service/socket_io.h"
+
+namespace contango {
+namespace {
+
+/// RAII so every early return / throw below closes the connection.
+struct Connection {
+  explicit Connection(const std::string& path)
+      : fd(connect_unix_socket(path)), reader(fd) {}
+  ~Connection() { close_fd(fd); }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd;
+  LineReader reader;
+};
+
+JsonValue parse_response(const std::string& line) {
+  JsonValue doc;
+  try {
+    doc = parse_json(line);
+  } catch (const JsonParseError& e) {
+    throw ProtocolError(std::string("malformed response from daemon: ") +
+                        e.what());
+  }
+  if (!doc.is_object()) {
+    throw ProtocolError("daemon response is not a JSON object: " + line);
+  }
+  if (doc.string_or("type", "") == "error") {
+    throw ProtocolError(doc.string_or("error", "unknown daemon error"));
+  }
+  return doc;
+}
+
+JobState parse_state(const std::string& name) {
+  if (name == "done") return JobState::kDone;
+  if (name == "cancelled") return JobState::kCancelled;
+  if (name == "queued") return JobState::kQueued;
+  if (name == "running") return JobState::kRunning;
+  return JobState::kFailed;
+}
+
+}  // namespace
+
+ServiceClient::SubmitResult ServiceClient::submit(
+    const JobRequest& request, const EventCallback& on_event) {
+  Connection conn(socket_path_);
+  Request req;
+  req.kind = Request::Kind::kSubmit;
+  req.job = request;
+  if (!write_line(conn.fd, encode_request(req))) {
+    throw std::runtime_error("daemon closed the connection before the request");
+  }
+
+  SubmitResult result;
+  std::string line;
+  while (conn.reader.read_line(&line)) {
+    const JsonValue event = parse_response(line);
+    if (event.string_or("type", "") != "event") {
+      throw ProtocolError("unexpected response in event stream: " + line);
+    }
+    if (on_event) on_event(line, event);
+    result.job = event.string_or("job", result.job);
+    if (event.string_or("event", "") != "done") continue;
+    result.state = parse_state(event.string_or("state", "failed"));
+    result.cached = event.bool_or("cached", false);
+    result.error = event.string_or("error", "");
+    if (event.bool_or("report_follows", false)) {
+      // The next line is the suite report, passed through verbatim — do
+      // not parse-and-re-encode it, the bytes themselves are the contract.
+      if (!conn.reader.read_line(&result.report_json)) {
+        throw ProtocolError("daemon closed before sending the report");
+      }
+    }
+    return result;
+  }
+  throw ProtocolError("daemon closed the event stream before the done event");
+}
+
+JsonValue ServiceClient::request_status(std::string* raw_line) {
+  Request req;
+  req.kind = Request::Kind::kStatus;
+  JsonValue doc = roundtrip(req, raw_line);
+  if (doc.string_or("type", "") != "status") {
+    throw ProtocolError("unexpected response to status request");
+  }
+  return doc;
+}
+
+bool ServiceClient::request_cancel(const std::string& job_id,
+                                   std::string* state_out) {
+  Request req;
+  req.kind = Request::Kind::kCancel;
+  req.job_id = job_id;
+  const JsonValue doc = roundtrip(req, nullptr);
+  if (doc.string_or("type", "") != "cancel") {
+    throw ProtocolError("unexpected response to cancel request");
+  }
+  if (!doc.bool_or("found", false)) return false;
+  if (state_out) *state_out = doc.string_or("state", "");
+  return true;
+}
+
+void ServiceClient::request_shutdown() {
+  Request req;
+  req.kind = Request::Kind::kShutdown;
+  const JsonValue doc = roundtrip(req, nullptr);
+  if (doc.string_or("type", "") != "shutdown") {
+    throw ProtocolError("unexpected response to shutdown request");
+  }
+}
+
+JsonValue ServiceClient::roundtrip(const Request& request,
+                                   std::string* raw_line) {
+  Connection conn(socket_path_);
+  if (!write_line(conn.fd, encode_request(request))) {
+    throw std::runtime_error("daemon closed the connection before the request");
+  }
+  std::string line;
+  if (!conn.reader.read_line(&line)) {
+    throw ProtocolError("daemon closed the connection without a response");
+  }
+  if (raw_line) *raw_line = line;
+  return parse_response(line);
+}
+
+}  // namespace contango

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "io/json.h"
+#include "service/protocol.h"
+
+namespace contango {
+
+/// \file client.h
+/// \brief Client side of the contangod protocol, used by contango-cli and
+/// the service tests.
+///
+/// Each call opens one connection (the protocol is one request per
+/// connection), so a ServiceClient is just a remembered socket path and
+/// can be used from any thread.
+
+class ServiceClient {
+ public:
+  /// \param socket_path daemon socket; empty picks default_socket_path()
+  explicit ServiceClient(const std::string& socket_path = "")
+      : socket_path_(socket_path.empty() ? default_socket_path()
+                                         : socket_path) {}
+
+  const std::string& socket_path() const { return socket_path_; }
+
+  /// Outcome of a submit: the job's terminal state plus the report bytes.
+  struct SubmitResult {
+    std::string job;    ///< assigned job id
+    JobState state = JobState::kFailed;  ///< terminal state
+    bool cached = false;
+    std::string error;  ///< failure/cancellation detail ("" when done)
+    /// Verbatim report bytes from the wire (the line after the done
+    /// event).  Byte-identical between a fresh run and its cache hits —
+    /// write them out unmodified to preserve that.
+    std::string report_json;
+
+    bool ok() const { return state == JobState::kDone; }
+  };
+
+  /// Streams one event line: the raw bytes and the parsed form.  Invoked
+  /// on the caller's thread, in wire order, before submit() returns.
+  using EventCallback =
+      std::function<void(const std::string& line, const JsonValue& event)>;
+
+  /// \brief Submits a job and blocks until its terminal event.
+  /// \param request the job parameters
+  /// \param on_event optional: sees every event as it arrives (progress UI)
+  /// \throws std::runtime_error on connection failure
+  /// \throws ProtocolError when the daemon answers with an error response
+  ///         (unknown workload, queue full) or the stream is malformed
+  SubmitResult submit(const JobRequest& request,
+                      const EventCallback& on_event = nullptr);
+
+  /// \brief Fetches the daemon status.
+  /// \param raw_line optional out: the verbatim response line
+  /// \throws as submit()
+  JsonValue request_status(std::string* raw_line = nullptr);
+
+  /// \brief Requests cancellation of a job.
+  /// \param job_id the id from a queued event or the status job list
+  /// \param state_out optional out: the state cancel observed ("queued",
+  ///        "running", ...) when the job was found
+  /// \return false when the daemon knows no such job
+  bool request_cancel(const std::string& job_id,
+                      std::string* state_out = nullptr);
+
+  /// \brief Asks the daemon to shut down (graceful: running jobs finish).
+  void request_shutdown();
+
+ private:
+  /// One-shot request: connect, send, read + parse one response line.
+  JsonValue roundtrip(const Request& request, std::string* raw_line);
+
+  std::string socket_path_;
+};
+
+}  // namespace contango

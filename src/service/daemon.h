@@ -1,0 +1,94 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cts/suite.h"
+#include "service/protocol.h"
+#include "service/scheduler.h"
+#include "util/timer.h"
+
+namespace contango {
+
+/// \file daemon.h
+/// \brief The contangod server: accepts protocol connections on a
+/// Unix-domain socket and drives the JobScheduler.
+///
+/// Request lifecycle (see docs/ARCHITECTURE.md for the diagram):
+/// accept -> decode -> resolve workloads -> content hash -> cache probe ->
+/// schedule -> stream events -> store report.  Each connection is served
+/// by its own thread; a submit connection stays open streaming NDJSON
+/// events until its job reaches a terminal state.  The daemon itself holds
+/// no job state — the scheduler owns jobs, the cache owns reports — so
+/// stop() is just: stop accepting, drain the scheduler, join.
+
+struct DaemonOptions {
+  /// Socket to serve on; empty picks default_socket_path().
+  std::string socket_path;
+  int workers = 0;      ///< scheduler pool width; 0 = hardware concurrency
+  int max_queue = 64;   ///< admission bound (JobScheduler::Options)
+  std::size_t cache_entries = 256;  ///< result-cache capacity; 0 disables
+  /// Template applied to every job before the request's own overrides
+  /// (threads, pipeline, MC knobs).  contangod builds it from the
+  /// CONTANGO_* env knobs via suite_options_from_env(), so daemon-side
+  /// defaults and bench-binary defaults agree.
+  SuiteOptions base;
+  bool verbose = false;  ///< log one line per request/terminal job state
+};
+
+class Daemon {
+ public:
+  explicit Daemon(const DaemonOptions& options);
+
+  /// Joins everything; equivalent to stop(false) when still running.
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// \brief Binds the socket and starts the accept loop.
+  /// \throws std::runtime_error when the socket cannot be bound
+  void start();
+
+  /// \brief Stops accepting, drains the scheduler, joins all connection
+  /// threads and removes the socket file.  Idempotent.
+  /// \param cancel_jobs forwarded to JobScheduler::shutdown — true stops
+  ///        live jobs at their next cancellation point (signal-initiated
+  ///        shutdown), false lets them finish (client-requested shutdown)
+  void stop(bool cancel_jobs);
+
+  /// True once a client's `shutdown` request was acknowledged; the main
+  /// loop polls this and then calls stop().
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_relaxed);
+  }
+
+  /// The socket path actually served (resolved from the options).
+  const std::string& socket_path() const { return socket_path_; }
+
+  JobScheduler::Status status() const;
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  void handle_submit(int fd, const JobRequest& request);
+
+  const DaemonOptions options_;
+  const std::string socket_path_;
+  std::unique_ptr<JobScheduler> scheduler_;
+  Timer uptime_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+  std::thread accept_thread_;
+  std::mutex conn_mutex_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace contango

@@ -1,0 +1,250 @@
+#include "service/protocol.h"
+
+#include <limits>
+
+#include "io/json.h"
+#include "util/env.h"
+
+namespace contango {
+namespace {
+
+const char* event_kind_name(JobEvent::Kind kind) {
+  switch (kind) {
+    case JobEvent::Kind::kQueued:
+      return "queued";
+    case JobEvent::Kind::kStarted:
+      return "started";
+    case JobEvent::Kind::kProgress:
+      return "progress";
+    case JobEvent::Kind::kDone:
+      return "done";
+  }
+  return "unknown";
+}
+
+/// Required string field, non-empty.
+std::string require_string(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  if (!v || !v->is_string() || v->as_string().empty()) {
+    throw ProtocolError("request needs a non-empty string field '" + key + "'");
+  }
+  return v->as_string();
+}
+
+/// Integer field with range check; absent -> fallback.
+long long int_or(const JsonValue& obj, const std::string& key,
+                 long long fallback, long long lo, long long hi) {
+  long long v = fallback;
+  try {
+    v = obj.long_or(key, fallback);
+  } catch (const std::exception& e) {
+    throw ProtocolError(e.what());
+  }
+  if (v < lo || v > hi) {
+    throw ProtocolError("field '" + key + "' = " + std::to_string(v) +
+                        " is out of range [" + std::to_string(lo) + ", " +
+                        std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string default_socket_path() {
+  const std::string env = env_string("CONTANGO_SOCKET", "");
+  return env.empty() ? "/tmp/contangod.sock" : env;
+}
+
+std::string encode_request(const Request& request) {
+  JsonWriter w;
+  w.begin_object();
+  switch (request.kind) {
+    case Request::Kind::kSubmit: {
+      const JobRequest& job = request.job;
+      w.kv("cmd", "submit");
+      w.kv("workloads", job.workloads);
+      if (!job.name.empty()) w.kv("name", job.name);
+      w.kv("seed", static_cast<unsigned long long>(job.seed));
+      w.kv("priority", job.priority);
+      w.kv("threads", job.threads);
+      if (!job.pipeline.empty()) w.kv("pipeline", job.pipeline);
+      w.kv("mc_trials", job.mc_trials);
+      if (job.mc_trials > 0) {
+        w.kv("mc_sigma_vdd", job.mc_sigma_vdd);
+        w.kv("mc_seed", static_cast<unsigned long long>(job.mc_seed));
+        w.kv("mc_skew_target", job.mc_skew_target);
+      }
+      break;
+    }
+    case Request::Kind::kStatus:
+      w.kv("cmd", "status");
+      break;
+    case Request::Kind::kCancel:
+      w.kv("cmd", "cancel");
+      w.kv("job", request.job_id);
+      break;
+    case Request::Kind::kShutdown:
+      w.kv("cmd", "shutdown");
+      break;
+  }
+  w.end_object();
+  return w.str();
+}
+
+Request decode_request(const std::string& line) {
+  JsonValue doc;
+  try {
+    doc = parse_json(line);
+  } catch (const JsonParseError& e) {
+    throw ProtocolError(std::string("malformed request: ") + e.what());
+  }
+  if (!doc.is_object()) {
+    throw ProtocolError("request must be a JSON object");
+  }
+  const std::string cmd = require_string(doc, "cmd");
+
+  Request request;
+  if (cmd == "submit") {
+    request.kind = Request::Kind::kSubmit;
+    JobRequest& job = request.job;
+    job.workloads = require_string(doc, "workloads");
+    job.name = doc.string_or("name", job.workloads);
+    job.seed = static_cast<std::uint64_t>(
+        int_or(doc, "seed", 1, 0, std::numeric_limits<long long>::max()));
+    job.priority = static_cast<int>(int_or(doc, "priority", 0, -1000, 1000));
+    job.threads = static_cast<int>(int_or(doc, "threads", 1, 0, 4096));
+    job.pipeline = doc.string_or("pipeline", "");
+    job.mc_trials = static_cast<int>(int_or(doc, "mc_trials", 0, 0, 1000000));
+    try {
+      job.mc_sigma_vdd = doc.number_or("mc_sigma_vdd", 0.05);
+      job.mc_skew_target = doc.number_or("mc_skew_target", 10.0);
+    } catch (const std::exception& e) {
+      throw ProtocolError(e.what());
+    }
+    job.mc_seed = static_cast<std::uint64_t>(
+        int_or(doc, "mc_seed", 1, 0, std::numeric_limits<long long>::max()));
+  } else if (cmd == "status") {
+    request.kind = Request::Kind::kStatus;
+  } else if (cmd == "cancel") {
+    request.kind = Request::Kind::kCancel;
+    request.job_id = require_string(doc, "job");
+  } else if (cmd == "shutdown") {
+    request.kind = Request::Kind::kShutdown;
+  } else {
+    throw ProtocolError("unknown cmd '" + cmd +
+                        "' (expected submit, status, cancel or shutdown)");
+  }
+  return request;
+}
+
+std::string encode_event(const JobEvent& event) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("type", "event");
+  w.kv("event", event_kind_name(event.kind));
+  w.kv("job", event.job);
+  w.kv("name", event.name);
+  w.kv("hash", event.hash_hex);
+  switch (event.kind) {
+    case JobEvent::Kind::kQueued:
+      w.kv("queue_position", event.queue_position);
+      w.kv("total_benchmarks", event.total_benchmarks);
+      break;
+    case JobEvent::Kind::kStarted:
+      w.kv("total_benchmarks", event.total_benchmarks);
+      break;
+    case JobEvent::Kind::kProgress:
+      w.kv("completed", event.completed);
+      w.kv("total_benchmarks", event.total_benchmarks);
+      w.kv("benchmark", event.benchmark);
+      w.kv("ok", event.benchmark_ok);
+      w.kv("cancelled", event.benchmark_cancelled);
+      w.kv("seconds", event.benchmark_seconds);
+      break;
+    case JobEvent::Kind::kDone:
+      w.kv("state", job_state_name(event.state));
+      w.kv("cached", event.cached);
+      if (!event.error.empty()) w.kv("error", event.error);
+      w.kv("seconds", event.seconds);
+      // The report is NOT embedded: re-encoding it would lose the
+      // byte-identity the cache guarantees.  It follows as its own line.
+      w.kv("report_follows", !event.report_json.empty());
+      break;
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_status(const JobScheduler::Status& status,
+                          const std::string& socket_path,
+                          double uptime_seconds) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("type", "status");
+  w.kv("socket", socket_path);
+  w.kv("workers", status.workers);
+  w.kv("queued", status.queued);
+  w.kv("running", status.running);
+  w.kv("submitted", static_cast<unsigned long long>(status.submitted));
+  w.kv("completed", static_cast<unsigned long long>(status.completed));
+  w.kv("failed", static_cast<unsigned long long>(status.failed));
+  w.kv("cancelled", static_cast<unsigned long long>(status.cancelled));
+  w.kv("rejected", static_cast<unsigned long long>(status.rejected));
+  w.kv("uptime_seconds", uptime_seconds);
+  w.kv("busy_seconds", status.busy_seconds);
+  const double capacity = uptime_seconds * status.workers;
+  w.kv("worker_utilization",
+       capacity > 0.0 ? status.busy_seconds / capacity : 0.0);
+  w.key("cache");
+  w.begin_object();
+  w.kv("hits", static_cast<unsigned long long>(status.cache.hits));
+  w.kv("misses", static_cast<unsigned long long>(status.cache.misses));
+  w.kv("entries", static_cast<unsigned long long>(status.cache.entries));
+  w.kv("max_entries", static_cast<unsigned long long>(status.cache.max_entries));
+  w.end_object();
+  w.key("jobs");
+  w.begin_array();
+  for (const JobScheduler::Status::JobSummary& job : status.jobs) {
+    w.begin_object();
+    w.kv("id", job.id);
+    w.kv("name", job.name);
+    w.kv("state", job_state_name(job.state));
+    w.kv("priority", job.priority);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_cancel_response(const std::string& job_id, bool found,
+                                   JobState state) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("type", "cancel");
+  w.kv("job", job_id);
+  w.kv("found", found);
+  if (found) w.kv("state", job_state_name(state));
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_shutdown_response() {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("type", "shutdown");
+  w.kv("ok", true);
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_error(const std::string& message) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("type", "error");
+  w.kv("error", message);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace contango

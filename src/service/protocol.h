@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "service/scheduler.h"
+
+namespace contango {
+
+/// \file protocol.h
+/// \brief Wire protocol of the contangod service: newline-delimited JSON
+/// over a Unix-domain socket.
+///
+/// One request per connection: the client connects, writes a single JSON
+/// request line, and reads JSON response lines until the server closes.
+/// For `submit` the response is an event stream (`queued`, `started`,
+/// `progress` per benchmark, `done`); when the done event carries
+/// `report_follows: true` the NEXT line is the full suite report —
+/// verbatim SuiteReport::to_json() bytes, not re-encoded — so the client
+/// can save bytes that are `cmp`-identical between a fresh run and a cache
+/// hit.  See docs/SERVICE_PROTOCOL.md for the full reference with
+/// examples.
+///
+/// Every encoder here emits exactly one line (no embedded newlines) and
+/// every decoder consumes exactly one line; framing is socket_io.h's job.
+
+/// Malformed or semantically invalid protocol message.  The daemon answers
+/// these with an `error` response; the client throws them to its caller.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// \brief Socket path used when the caller specifies none:
+/// $CONTANGO_SOCKET when set, else /tmp/contangod.sock.
+std::string default_socket_path();
+
+/// Job parameters of a `submit` request — the protocol mirror of the
+/// CONTANGO_* suite knobs (cts/suite.h).  Defaults match a bare suite run.
+struct JobRequest {
+  /// Workload spec in collect_workloads() syntax (cts/scenario.h):
+  /// scenario families with optional `:N` sink-count overrides, `.bench`
+  /// files and directories, comma-separated.  Required.
+  std::string workloads;
+  std::string name;       ///< job label; defaults to the workload spec
+  std::uint64_t seed = 1; ///< scenario seed
+  int priority = 0;       ///< scheduler priority (higher first)
+  int threads = 1;        ///< suite workers INSIDE the job's one slot
+  std::string pipeline;   ///< pass-pipeline spec; empty = default sequence
+  int mc_trials = 0;      ///< Monte-Carlo trials per benchmark; 0 = off
+  double mc_sigma_vdd = 0.05;
+  std::uint64_t mc_seed = 1;
+  double mc_skew_target = 10.0;  ///< ps
+};
+
+/// One decoded client request.
+struct Request {
+  enum class Kind { kSubmit, kStatus, kCancel, kShutdown };
+  Kind kind = Kind::kStatus;
+  JobRequest job;      ///< kSubmit only
+  std::string job_id;  ///< kCancel only
+};
+
+/// \brief Encodes a request as one JSON line (no trailing newline).
+std::string encode_request(const Request& request);
+
+/// \brief Decodes one request line.
+/// \throws ProtocolError on unknown `cmd`, missing/mistyped fields, or
+///         (wrapping JsonParseError) malformed JSON
+Request decode_request(const std::string& line);
+
+/// \brief Encodes a job progress event as one JSON line.
+///
+/// The `done` event carries `report_follows`: when true the caller must
+/// write `event.report_json` as the next line, verbatim.
+std::string encode_event(const JobEvent& event);
+
+/// \brief Encodes the status response from scheduler counters.
+/// \param status point-in-time scheduler counters
+/// \param socket_path the socket the daemon is serving on
+/// \param uptime_seconds daemon uptime; also used to derive
+///        `worker_utilization` = busy_seconds / (uptime * workers)
+std::string encode_status(const JobScheduler::Status& status,
+                          const std::string& socket_path,
+                          double uptime_seconds);
+
+/// \brief Encodes the response to a `cancel` request.
+/// \param job_id the id the client asked about
+/// \param found false when the id names no known job
+/// \param state the state cancel() observed (meaningful when found)
+std::string encode_cancel_response(const std::string& job_id, bool found,
+                                   JobState state);
+
+/// \brief Encodes the acknowledgement of a `shutdown` request.
+std::string encode_shutdown_response();
+
+/// \brief Encodes an error response (malformed request, unknown workload,
+/// queue full, ...).
+std::string encode_error(const std::string& message);
+
+}  // namespace contango

@@ -1,0 +1,426 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace contango {
+namespace {
+
+/// Finished jobs kept in the registry for status/cancel queries; older ones
+/// are pruned so a long-lived daemon's memory stays bounded.
+constexpr std::size_t kFinishedKeep = 64;
+
+}  // namespace
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+struct JobScheduler::Job {
+  std::uint64_t seq = 0;
+  std::string id;
+  JobSpec spec;
+  Hash128 hash;
+  CancelToken token;
+  EventSink sink;
+  JobState state = JobState::kQueued;  // guarded by the scheduler mutex
+  bool enqueued = false;  ///< sits in pending_ (guarded by the same mutex)
+};
+
+JobScheduler::JobScheduler(const Options& options)
+    : options_(options),
+      cache_(options.cache_entries),
+      pool_(options.workers, /*inline_single=*/false) {}
+
+JobScheduler::~JobScheduler() { shutdown(/*cancel_jobs=*/false); }
+
+JobScheduler::Submission JobScheduler::submit(JobSpec spec, EventSink sink) {
+  const Hash128 hash = job_content_hash(spec.benchmarks, spec.suite);
+
+  JobEvent queued_ev;
+  queued_ev.kind = JobEvent::Kind::kQueued;
+  queued_ev.name = spec.name;
+  queued_ev.hash_hex = hash.hex();
+  queued_ev.total_benchmarks = static_cast<int>(spec.benchmarks.size());
+
+  // Cache probe before admission: a hit consumes no queue slot and no
+  // worker, so it succeeds even when the queue is full.
+  std::string cached_report;
+  if (cache_.lookup(hash, &cached_report)) {
+    auto job = std::make_shared<Job>();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!accepting_) {
+        ++rejected_;
+        Submission s;
+        s.error = "scheduler is shutting down";
+        return s;
+      }
+      job->seq = next_seq_++;
+      job->id = "job-" + std::to_string(job->seq);
+      job->spec.name = spec.name;
+      job->spec.priority = spec.priority;
+      job->hash = hash;
+      job->state = JobState::kDone;
+      ++submitted_;
+      ++completed_;
+      jobs_.emplace(job->seq, job);
+      finished_order_.push_back(job->seq);
+      while (finished_order_.size() > kFinishedKeep) {
+        jobs_.erase(finished_order_.front());
+        finished_order_.pop_front();
+      }
+    }
+    queued_ev.job = job->id;
+    JobEvent done_ev = queued_ev;
+    done_ev.kind = JobEvent::Kind::kDone;
+    done_ev.state = JobState::kDone;
+    done_ev.cached = true;
+    done_ev.report_json = std::move(cached_report);
+    sink(queued_ev);
+    sink(done_ev);
+    Submission s;
+    s.id = job->id;
+    s.accepted = true;
+    s.cached = true;
+    return s;
+  }
+
+  auto job = std::make_shared<Job>();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!accepting_) {
+      ++rejected_;
+      Submission s;
+      s.error = "scheduler is shutting down";
+      return s;
+    }
+    if (static_cast<int>(pending_.size()) >= options_.max_queue) {
+      ++rejected_;
+      Submission s;
+      s.error = "queue full (" + std::to_string(pending_.size()) +
+                " jobs waiting, max " + std::to_string(options_.max_queue) + ")";
+      return s;
+    }
+    job->seq = next_seq_++;
+    job->id = "job-" + std::to_string(job->seq);
+    job->spec = std::move(spec);
+    job->hash = hash;
+    job->token = CancelToken::make();
+    job->sink = std::move(sink);
+    ++submitted_;
+    jobs_.emplace(job->seq, job);
+    queued_ev.job = job->id;
+    queued_ev.queue_position =
+        static_cast<int>(pending_.size()) + running_;
+  }
+
+  // The kQueued event goes out BEFORE the job becomes claimable, so no
+  // worker can slip a kStarted in front of it.
+  job->sink(queued_ev);
+
+  bool cancelled_before_enqueue = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job->token.cancelled()) {
+      // cancel() raced us between registration and enqueue; it left the
+      // terminal transition to us so the sink still sees queued -> done.
+      cancelled_before_enqueue = true;
+    } else {
+      job->enqueued = true;
+      pending_.push_back(job);
+    }
+  }
+  if (cancelled_before_enqueue) {
+    JobEvent done_ev = queued_ev;
+    done_ev.kind = JobEvent::Kind::kDone;
+    done_ev.state = JobState::kCancelled;
+    done_ev.error = "cancelled";
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      finish_locked(job, done_ev);
+    }
+    job->sink(done_ev);
+  } else {
+    // One drain task per admission: each takes at most one job (the best
+    // pending at the time it runs, not necessarily "its" job, which is how
+    // priorities jump the FIFO), so claimable jobs and drain tasks balance.
+    pool_.submit([this] { run_next(); });
+  }
+
+  Submission s;
+  s.id = job->id;
+  s.accepted = true;
+  return s;
+}
+
+bool JobScheduler::cancel(const std::string& id, JobState* state_out) {
+  std::shared_ptr<Job> to_finish;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it =
+        std::find_if(jobs_.begin(), jobs_.end(), [&](const auto& kv) {
+          return kv.second->id == id;
+        });
+    if (it == jobs_.end()) return false;
+    const std::shared_ptr<Job>& job = it->second;
+    if (state_out) *state_out = job->state;
+    switch (job->state) {
+      case JobState::kQueued:
+        job->token.request_cancel();
+        if (job->enqueued) {
+          pending_.erase(
+              std::find(pending_.begin(), pending_.end(), job));
+          job->enqueued = false;
+          to_finish = job;
+        }
+        // Not enqueued yet: submit() is between registration and enqueue
+        // and will observe the fired token and finish the job itself.
+        break;
+      case JobState::kRunning:
+        // The suite polls the token between benchmarks and the pipeline at
+        // pass boundaries; the worker will classify and finish the job.
+        job->token.request_cancel();
+        break;
+      case JobState::kDone:
+      case JobState::kFailed:
+      case JobState::kCancelled:
+        break;  // terminal; nothing to do
+    }
+  }
+  if (to_finish) {
+    JobEvent ev;
+    ev.kind = JobEvent::Kind::kDone;
+    ev.job = to_finish->id;
+    ev.name = to_finish->spec.name;
+    ev.hash_hex = to_finish->hash.hex();
+    ev.total_benchmarks = static_cast<int>(to_finish->spec.benchmarks.size());
+    ev.state = JobState::kCancelled;
+    ev.error = "cancelled";
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      finish_locked(to_finish, ev);
+    }
+    to_finish->sink(ev);
+  }
+  return true;
+}
+
+void JobScheduler::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] {
+    return pending_.empty() && running_ == 0 && emitting_ == 0;
+  });
+}
+
+void JobScheduler::shutdown(bool cancel_jobs) {
+  std::vector<std::shared_ptr<Job>> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+    if (cancel_jobs) {
+      for (const std::shared_ptr<Job>& job : pending_) {
+        job->token.request_cancel();
+        job->enqueued = false;
+        dropped.push_back(job);
+      }
+      pending_.clear();
+      for (const auto& kv : jobs_) {
+        if (kv.second->state == JobState::kRunning) {
+          kv.second->token.request_cancel();
+        }
+      }
+    }
+  }
+  for (const std::shared_ptr<Job>& job : dropped) {
+    JobEvent ev;
+    ev.kind = JobEvent::Kind::kDone;
+    ev.job = job->id;
+    ev.name = job->spec.name;
+    ev.hash_hex = job->hash.hex();
+    ev.total_benchmarks = static_cast<int>(job->spec.benchmarks.size());
+    ev.state = JobState::kCancelled;
+    ev.error = "cancelled";
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      finish_locked(job, ev);
+    }
+    job->sink(ev);
+  }
+  drain();
+}
+
+JobScheduler::Status JobScheduler::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Status s;
+  s.workers = pool_.num_threads();
+  s.queued = static_cast<int>(pending_.size());
+  s.running = running_;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.failed = failed_;
+  s.cancelled = cancelled_;
+  s.rejected = rejected_;
+  s.busy_seconds = busy_seconds_;
+  s.cache = cache_.stats();
+  for (const auto& kv : jobs_) {  // std::map iterates in submission order
+    Status::JobSummary j;
+    j.id = kv.second->id;
+    j.name = kv.second->spec.name;
+    j.state = kv.second->state;
+    j.priority = kv.second->spec.priority;
+    s.jobs.push_back(std::move(j));
+  }
+  return s;
+}
+
+std::shared_ptr<JobScheduler::Job> JobScheduler::take_best_pending() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pending_.empty()) return nullptr;
+  auto best = pending_.begin();
+  for (auto it = std::next(pending_.begin()); it != pending_.end(); ++it) {
+    // Highest priority wins; within a priority the earliest submission
+    // (lowest seq) wins, so equal-priority jobs run FIFO.
+    if ((*it)->spec.priority > (*best)->spec.priority ||
+        ((*it)->spec.priority == (*best)->spec.priority &&
+         (*it)->seq < (*best)->seq)) {
+      best = it;
+    }
+  }
+  std::shared_ptr<Job> job = *best;
+  pending_.erase(best);
+  job->enqueued = false;
+  job->state = JobState::kRunning;
+  ++running_;
+  return job;
+}
+
+void JobScheduler::run_next() {
+  // Each drain task serves at most one job; a cancelled-while-queued job
+  // leaves its task to find a shorter queue (possibly empty), which is fine.
+  const std::shared_ptr<Job> job = take_best_pending();
+  if (!job) return;
+  run_job(job);
+}
+
+void JobScheduler::run_job(const std::shared_ptr<Job>& job) {
+  JobEvent started;
+  started.kind = JobEvent::Kind::kStarted;
+  started.job = job->id;
+  started.name = job->spec.name;
+  started.hash_hex = job->hash.hex();
+  started.total_benchmarks = static_cast<int>(job->spec.benchmarks.size());
+  started.state = JobState::kRunning;
+  job->sink(started);
+
+  SuiteOptions opts = job->spec.suite;
+  opts.flow.cancel = job->token;
+  const std::function<void(const SuiteRun&)> chained = opts.on_run_done;
+  int completed_runs = 0;  // only this worker's suite callbacks touch it
+  opts.on_run_done = [&](const SuiteRun& run) {
+    if (chained) chained(run);
+    JobEvent progress;
+    progress.kind = JobEvent::Kind::kProgress;
+    progress.job = job->id;
+    progress.name = job->spec.name;
+    progress.hash_hex = started.hash_hex;
+    progress.total_benchmarks = started.total_benchmarks;
+    progress.completed = ++completed_runs;
+    progress.benchmark = run.benchmark;
+    progress.benchmark_ok = run.ok;
+    progress.benchmark_cancelled = run.cancelled;
+    progress.benchmark_seconds = run.seconds;
+    progress.state = JobState::kRunning;
+    job->sink(progress);
+  };
+
+  JobEvent done = started;
+  done.kind = JobEvent::Kind::kDone;
+  Timer timer;
+  try {
+    const SuiteReport report = run_suite(job->spec.benchmarks, opts);
+    const bool any_cancelled =
+        std::any_of(report.runs.begin(), report.runs.end(),
+                    [](const SuiteRun& r) { return r.cancelled; });
+    if (any_cancelled) {
+      done.state = JobState::kCancelled;
+      done.error = "cancelled";
+    } else if (report.all_ok()) {
+      done.state = JobState::kDone;
+      done.report_json = report.to_json();
+      cache_.store(job->hash, done.report_json);
+    } else {
+      done.state = JobState::kFailed;
+      done.report_json = report.to_json();
+      for (const SuiteRun& r : report.runs) {
+        if (!r.ok) {
+          done.error = r.benchmark + ": " + r.error;
+          break;
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    // run_suite only throws on configuration errors (bad pipeline spec,
+    // unwritable report path) — per-benchmark failures are caught inside.
+    done.state = JobState::kFailed;
+    done.error = e.what();
+  }
+  done.seconds = timer.seconds();
+  // Accounting first (a client unblocked by the done event must find the
+  // counters already final), but drain() may not return before the event is
+  // delivered — emitting_ keeps the barrier up through the sink call, which
+  // still runs outside the mutex.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++emitting_;
+    finish_locked(job, done);
+  }
+  job->sink(done);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --emitting_;
+    idle_.notify_all();
+  }
+}
+
+void JobScheduler::finish_locked(const std::shared_ptr<Job>& job,
+                                 const JobEvent& ev) {
+  if (job->state == JobState::kRunning) --running_;
+  job->state = ev.state;
+  busy_seconds_ += ev.seconds;
+  switch (ev.state) {
+    case JobState::kDone:
+      ++completed_;
+      break;
+    case JobState::kFailed:
+      ++failed_;
+      break;
+    case JobState::kCancelled:
+      ++cancelled_;
+      break;
+    default:
+      break;
+  }
+  finished_order_.push_back(job->seq);
+  while (finished_order_.size() > kFinishedKeep) {
+    jobs_.erase(finished_order_.front());
+    finished_order_.pop_front();
+  }
+  idle_.notify_all();
+}
+
+}  // namespace contango

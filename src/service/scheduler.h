@@ -1,0 +1,235 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cts/suite.h"
+#include "netlist/benchmark.h"
+#include "service/cache.h"
+#include "util/cancel.h"
+#include "util/hash.h"
+#include "util/parallel.h"
+
+namespace contango {
+
+/// \file scheduler.h
+/// \brief Priority job scheduler of the service layer.
+///
+/// Sits between the daemon's connection handlers and util/parallel.h: each
+/// submitted job is a whole benchmark suite (cts/suite.h) that runs on one
+/// pool worker, with per-job priorities (higher first, FIFO within a
+/// priority), cooperative cancellation through the flow's CancelToken,
+/// bounded queue depth with explicit rejection, and a content-addressed
+/// ResultCache short-circuit for repeat submissions.  Progress streams to
+/// the submitter through an EventSink callback; the daemon turns those
+/// events into NDJSON lines on the client socket.
+
+/// Lifecycle states of a job.  Terminal states are kDone/kFailed/
+/// kCancelled; a job reaches exactly one of them exactly once.
+enum class JobState {
+  kQueued,     ///< accepted, waiting for a worker
+  kRunning,    ///< a worker is executing the suite
+  kDone,       ///< every benchmark finished ok; report available
+  kFailed,     ///< at least one benchmark threw; report available
+  kCancelled,  ///< stopped by cancel()/shutdown before completing
+};
+
+/// Lower-case wire name of a state ("queued", "running", "done", ...).
+const char* job_state_name(JobState state);
+
+/// One unit of work: a benchmark suite plus the options to run it with.
+struct JobSpec {
+  std::string name;                  ///< client-chosen label (may be empty)
+  std::vector<Benchmark> benchmarks; ///< resolved workloads, run in order
+  SuiteOptions suite;                ///< forwarded to run_suite()
+  int priority = 0;                  ///< higher runs first; ties are FIFO
+};
+
+/// \brief One progress event of a job, pushed to the submitter's sink.
+///
+/// Per job the sink sees exactly: kQueued, then either (cache hit) kDone
+/// with `cached` set, or kStarted, one kProgress per finished benchmark,
+/// and kDone.  Events of one job are delivered in order and never
+/// concurrently; `kind` selects which fields are meaningful.
+struct JobEvent {
+  enum class Kind { kQueued, kStarted, kProgress, kDone };
+
+  Kind kind = Kind::kQueued;
+  std::string job;       ///< scheduler-assigned id ("job-1", ...)
+  std::string name;      ///< JobSpec::name
+  std::string hash_hex;  ///< job_content_hash of the submission
+
+  // kQueued
+  int queue_position = 0;  ///< jobs ahead (queued + running) at submission
+  int total_benchmarks = 0;
+
+  // kProgress (one per finished benchmark, completion order)
+  int completed = 0;          ///< benchmarks finished so far, this one included
+  std::string benchmark;      ///< SuiteRun::benchmark
+  bool benchmark_ok = false;
+  bool benchmark_cancelled = false;
+  double benchmark_seconds = 0.0;
+
+  // kDone
+  JobState state = JobState::kQueued;  ///< terminal state of the job
+  bool cached = false;      ///< report served from the ResultCache
+  std::string error;        ///< kFailed: first failure; kCancelled: "cancelled"
+  std::string report_json;  ///< full suite report (kDone/kFailed; empty for
+                            ///< kCancelled — a partial report would look
+                            ///< deceptively complete)
+  double seconds = 0.0;     ///< job wall time (0 for cache hits)
+};
+
+/// Receives the submitter's progress events.  Called from the submit()
+/// thread (kQueued, and the whole cache-hit sequence) and from the job's
+/// pool worker (everything else); never concurrently for one job.  Must not
+/// throw — a sink that can fail (e.g. a closed client socket) should
+/// swallow the error and cancel the job instead.
+using EventSink = std::function<void(const JobEvent&)>;
+
+/// \brief Runs jobs on a ThreadPool with priorities, cancellation, bounded
+/// admission and result caching.  Thread-safe; all public methods may be
+/// called from any thread.
+class JobScheduler {
+ public:
+  struct Options {
+    /// Pool width; 0 picks the hardware concurrency.  Even at 1 the worker
+    /// is a real thread (never the submitter), so submit() always returns
+    /// while the job runs and cancel() can land mid-job.
+    int workers = 0;
+    /// Admission bound: submissions arriving while this many jobs are
+    /// already waiting are rejected, not queued — a service with an
+    /// unbounded queue just converts overload into unbounded latency.
+    /// Running jobs do not count against the bound.
+    int max_queue = 64;
+    /// Result-cache capacity (entries); 0 disables caching.
+    std::size_t cache_entries = 256;
+  };
+
+  /// Outcome of a submit() call.
+  struct Submission {
+    std::string id;        ///< assigned job id (empty when rejected)
+    bool accepted = false; ///< false: queue full or scheduler shutting down
+    bool cached = false;   ///< true: served from cache, already kDone
+    std::string error;     ///< rejection reason when !accepted
+  };
+
+  /// Point-in-time counters for the status endpoint.
+  struct Status {
+    int workers = 0;
+    int queued = 0;
+    int running = 0;
+    std::uint64_t submitted = 0;  ///< accepted submissions (incl. cache hits)
+    std::uint64_t completed = 0;  ///< reached kDone (incl. cache hits)
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t rejected = 0;
+    double busy_seconds = 0.0;  ///< summed worker wall time across jobs
+    ResultCache::Stats cache;
+
+    struct JobSummary {
+      std::string id;
+      std::string name;
+      JobState state = JobState::kQueued;
+      int priority = 0;
+    };
+    /// Every live (queued/running) job plus recently finished ones, in
+    /// submission order.
+    std::vector<JobSummary> jobs;
+  };
+
+  JobScheduler() : JobScheduler(Options()) {}
+  explicit JobScheduler(const Options& options);
+
+  /// Drains and joins the workers; equivalent to shutdown(false).
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// \brief Admits a job, or serves it straight from the result cache.
+  ///
+  /// On a cache hit the sink sees kQueued + kDone (with `cached` set and
+  /// the original report bytes) before submit() returns.  On a fresh
+  /// admission the kQueued event is also delivered before return, so the
+  /// sink's first event is always kQueued regardless of scheduling races.
+  /// \param spec the suite to run; consumed
+  /// \param sink progress events; must be valid
+  Submission submit(JobSpec spec, EventSink sink);
+
+  /// \brief Requests cancellation of a job.
+  ///
+  /// A queued job is removed and completes as kCancelled immediately (its
+  /// sink gets the kDone event before cancel() returns); a running job gets
+  /// its token fired and stops at the next suite/pass boundary.  Terminal
+  /// jobs are left untouched.
+  /// \param id the job id from Submission
+  /// \param state_out optional: the job's state as cancel() observed it
+  ///        (kQueued => it is now cancelled; kRunning => cancellation is in
+  ///        flight; terminal states => nothing happened)
+  /// \return false when no such job id exists (or it was pruned)
+  bool cancel(const std::string& id, JobState* state_out = nullptr);
+
+  /// Blocks until no job is queued or running.  New submissions may still
+  /// arrive afterwards (drain is a barrier, not shutdown).
+  void drain();
+
+  /// \brief Stops admission and drains.
+  ///
+  /// \param cancel_jobs true: fire every live job's token first, so the
+  ///        drain completes within one pass boundary per running job;
+  ///        false: let queued and running jobs finish normally.
+  /// Idempotent; after return no job is live and submit() rejects.
+  void shutdown(bool cancel_jobs);
+
+  Status status() const;
+
+ private:
+  struct Job;
+
+  void run_next();
+  void run_job(const std::shared_ptr<Job>& job);
+  /// Terminal-state accounting; caller holds mutex_ and emits `ev` to the
+  /// job's sink AFTER unlocking (sinks write sockets; never under the lock).
+  void finish_locked(const std::shared_ptr<Job>& job, const JobEvent& ev);
+  std::shared_ptr<Job> take_best_pending();
+
+  const Options options_;
+  ResultCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_;  ///< signaled when a job leaves live state
+  bool accepting_ = true;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t rejected_ = 0;
+  double busy_seconds_ = 0.0;
+  int running_ = 0;
+  /// Terminal events currently being delivered to sinks (outside the
+  /// mutex); drain() waits for this too, so "drained" means every done
+  /// event has actually reached its sink.
+  int emitting_ = 0;
+  std::deque<std::shared_ptr<Job>> pending_;
+  /// Submission-ordered registry of every non-pruned job, for status and
+  /// cancel-by-id.  Finished jobs are pruned oldest-first beyond a small
+  /// keep window so a long-lived daemon does not grow without bound.
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::deque<std::uint64_t> finished_order_;
+
+  /// Declared last: its destructor joins the workers, and workers touch
+  /// every member above, so everything else must still be alive while they
+  /// wind down.
+  ThreadPool pool_;
+};
+
+}  // namespace contango

@@ -1,0 +1,116 @@
+#include "service/socket_io.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace contango {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path '" + path +
+                             "' is empty or longer than " +
+                             std::to_string(sizeof(addr.sun_path) - 1) +
+                             " bytes");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+int listen_unix_socket(const std::string& path) {
+  const sockaddr_un addr = make_address(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket(AF_UNIX)");
+  ::unlink(path.c_str());  // stale socket from a previous instance
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("bind('" + path + "')");
+  }
+  if (::listen(fd, 16) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    errno = saved;
+    fail("listen('" + path + "')");
+  }
+  return fd;
+}
+
+int connect_unix_socket(const std::string& path) {
+  const sockaddr_un addr = make_address(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket(AF_UNIX)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("connect('" + path + "') — is contangod running?");
+  }
+  return fd;
+}
+
+bool write_line(int fd, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      fail("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool LineReader::read_line(std::string* line) {
+  for (;;) {
+    const std::size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      line->assign(buffer_, 0, pos);
+      buffer_.erase(0, pos + 1);
+      return true;
+    }
+    if (eof_) {
+      if (buffer_.empty()) return false;
+      *line = std::move(buffer_);  // unterminated final line
+      buffer_.clear();
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("recv");
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace contango

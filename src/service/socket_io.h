@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+
+namespace contango {
+
+/// \file socket_io.h
+/// \brief Thin Unix-domain socket helpers for the service layer: blocking
+/// stream sockets with newline framing, no buffering surprises.
+///
+/// Everything here reports failure with std::runtime_error carrying
+/// strerror() context; callers (daemon connection handlers, the CLI)
+/// decide whether a failure is fatal.  SIGPIPE is suppressed per-write
+/// (MSG_NOSIGNAL) so a client hanging up mid-stream surfaces as an error
+/// return instead of killing the daemon.
+
+/// \brief Creates, binds and listens on a Unix-domain stream socket.
+///
+/// An existing socket file at `path` is unlinked first (the daemon owns
+/// its path; a stale file from a crashed instance would otherwise block
+/// every restart).  The path length is validated against sockaddr_un.
+/// \return the listening fd
+/// \throws std::runtime_error on any socket/bind/listen failure
+int listen_unix_socket(const std::string& path);
+
+/// \brief Connects to a listening Unix-domain socket.
+/// \return the connected fd
+/// \throws std::runtime_error when the connect fails (daemon not running,
+///         wrong path, permissions)
+int connect_unix_socket(const std::string& path);
+
+/// \brief Writes `line` plus a trailing '\n' fully.
+/// \return false when the peer is gone (EPIPE/ECONNRESET) — the caller
+///         should stop streaming
+/// \throws std::runtime_error on unexpected write errors
+bool write_line(int fd, const std::string& line);
+
+/// \brief Incremental newline framing over a blocking fd.
+///
+/// Reads in chunks, hands lines out one at a time; bytes after the last
+/// newline stay buffered for the next call.  A final unterminated line is
+/// delivered at EOF (be liberal in what you accept).
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// \brief Reads the next line (without the newline).
+  /// \return false at clean EOF with no buffered bytes
+  /// \throws std::runtime_error on read errors
+  bool read_line(std::string* line);
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+/// Closes an fd, ignoring errors (shutdown paths close best-effort).
+void close_fd(int fd);
+
+}  // namespace contango

@@ -1,0 +1,153 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace contango {
+
+/// \file hash.h
+/// \brief Stable, byte-portable content hashing (FNV-1a, 64- and 128-bit).
+///
+/// The service layer keys its result cache by a content hash of
+/// (benchmark bytes, pipeline spec, resolved options), and suite reports
+/// carry a per-run `benchmark_hash` so downstream tooling can correlate
+/// reports of the same workload across machines and releases.  That makes
+/// two properties non-negotiable:
+///
+///  * **stability** — the digest of a byte sequence is fixed forever; it
+///    never depends on platform, endianness, word size or stdlib (multi-byte
+///    values are fed through explicit little-endian canonicalization, and
+///    doubles through their IEEE-754 bit pattern);
+///  * **determinism** — streaming a document in any chunking produces the
+///    digest of the concatenation (update() is chunk-invariant).
+///
+/// FNV-1a is not cryptographic; keys here only dedupe trusted local
+/// submissions, where accidental collision resistance of 128 bits is ample.
+
+/// A 128-bit digest, comparable and hex-printable.
+struct Hash128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Hash128& a, const Hash128& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const Hash128& a, const Hash128& b) { return !(a == b); }
+  friend bool operator<(const Hash128& a, const Hash128& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+
+  /// 32 lowercase hex digits, most significant first (the `benchmark_hash`
+  /// wire format).
+  std::string hex() const {
+    static const char* digits = "0123456789abcdef";
+    std::string out(32, '0');
+    std::uint64_t words[2] = {hi, lo};
+    for (int w = 0; w < 2; ++w) {
+      for (int i = 0; i < 16; ++i) {
+        out[static_cast<std::size_t>(w * 16 + 15 - i)] =
+            digits[(words[w] >> (4 * i)) & 0xF];
+      }
+    }
+    return out;
+  }
+};
+
+/// FNV-1a 64-bit offset basis (the seed of an empty hash).
+inline constexpr std::uint64_t kFnv64Offset = 0xcbf29ce484222325ULL;
+
+/// \brief One-shot/streaming FNV-1a 64-bit over a byte range.
+///
+/// Pass a previous result as `state` to continue a stream; the digest is
+/// chunk-invariant (hashing "ab" equals hashing "a" then "b").
+inline std::uint64_t fnv1a64(const void* data, std::size_t size,
+                             std::uint64_t state = kFnv64Offset) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state ^= bytes[i];
+    state *= 0x100000001b3ULL;
+  }
+  return state;
+}
+
+inline std::uint64_t fnv1a64(const std::string& s,
+                             std::uint64_t state = kFnv64Offset) {
+  return fnv1a64(s.data(), s.size(), state);
+}
+
+/// \brief Streaming FNV-1a 128-bit hasher.
+///
+/// update() is chunk-invariant; the *_field variants prepend a
+/// little-endian u64 length so adjacent variable-length fields cannot
+/// collide by re-chunking ("ab","c" vs "a","bc").  Scalar feeds are
+/// canonicalized: integers little-endian, doubles by IEEE-754 bit pattern —
+/// the digest of a record is identical on every platform.
+class Hasher {
+ public:
+  Hasher& update(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    unsigned __int128 h = state_;
+    for (std::size_t i = 0; i < size; ++i) {
+      h ^= bytes[i];
+      h *= kPrime;
+    }
+    state_ = h;
+    return *this;
+  }
+
+  Hasher& update(const std::string& s) { return update(s.data(), s.size()); }
+
+  /// Feeds `v` as 8 little-endian bytes regardless of host endianness.
+  Hasher& update_u64(std::uint64_t v) {
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i) {
+      bytes[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+    }
+    return update(bytes, sizeof(bytes));
+  }
+
+  /// Feeds the IEEE-754 bit pattern of `v` (little-endian).  Note -0.0 and
+  /// +0.0 hash differently, as do distinct NaN payloads — the hash tracks
+  /// bits, not numeric equality, matching the library's bit-identical
+  /// reproducibility contract.
+  Hasher& update_double(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    return update_u64(bits);
+  }
+
+  /// Length-prefixed byte field: update_u64(size) then the bytes.
+  Hasher& update_field(const std::string& s) {
+    update_u64(s.size());
+    return update(s);
+  }
+
+  /// Digest of everything fed so far (the hasher stays usable).
+  Hash128 digest() const {
+    Hash128 out;
+    out.hi = static_cast<std::uint64_t>(state_ >> 64);
+    out.lo = static_cast<std::uint64_t>(state_);
+    return out;
+  }
+
+ private:
+  // FNV-1a-128 prime 2^88 + 2^8 + 0x3b and offset basis, per the FNV spec.
+  static constexpr unsigned __int128 kPrime =
+      (static_cast<unsigned __int128>(0x0000000001000000ULL) << 64) |
+      0x000000000000013bULL;
+  static constexpr unsigned __int128 kOffset =
+      (static_cast<unsigned __int128>(0x6c62272e07bb0142ULL) << 64) |
+      0x62b821756295c58dULL;
+
+  unsigned __int128 state_ = kOffset;
+};
+
+/// One-shot FNV-1a 128-bit of a byte string.
+inline Hash128 fnv1a128(const std::string& s) {
+  return Hasher().update(s).digest();
+}
+
+}  // namespace contango

@@ -33,14 +33,19 @@ inline int hardware_threads() {
 ///
 /// With num_threads <= 1 the pool spawns no workers and submit() runs the
 /// task inline, which keeps single-threaded runs byte-for-byte reproducible
-/// and easy to debug/profile.
+/// and easy to debug/profile.  Callers that need submit() to be
+/// asynchronous even at one worker — the service JobScheduler must return
+/// to its client while the job runs, and cancel from another thread — pass
+/// inline_single = false to force a real worker thread.
 class ThreadPool {
  public:
   /// \param num_threads worker count; 0 picks hardware_threads(), <= 1
   ///        selects inline mode (no worker threads at all)
-  explicit ThreadPool(int num_threads = 0) {
+  /// \param inline_single when false, a single-threaded pool still spawns
+  ///        its one worker so submit() never runs tasks on the caller
+  explicit ThreadPool(int num_threads = 0, bool inline_single = true) {
     if (num_threads <= 0) num_threads = hardware_threads();
-    if (num_threads <= 1) return;  // inline mode
+    if (num_threads <= 1 && inline_single) return;  // inline mode
     workers_.reserve(static_cast<std::size_t>(num_threads));
     for (int i = 0; i < num_threads; ++i) {
       workers_.emplace_back([this] { worker_loop(); });

@@ -1,0 +1,47 @@
+#include "util/signal.h"
+
+#include <csignal>
+#include <cstdlib>
+
+namespace contango {
+namespace {
+
+// The handler may only perform async-signal-safe operations: a relaxed
+// store to a plain std::atomic and, on the second signal, _Exit.  The raw
+// flag pointer stays valid forever because the process-wide token below is
+// a leaked-on-exit static.
+std::atomic<bool>* g_cancel_flag = nullptr;
+std::atomic<int> g_signal{0};
+
+extern "C" void contango_cancel_signal_handler(int sig) {
+  int expected = 0;
+  if (!g_signal.compare_exchange_strong(expected, sig)) {
+    std::_Exit(128 + sig);  // second signal: force quit, conventional status
+  }
+  if (g_cancel_flag != nullptr) {
+    g_cancel_flag->store(true, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+CancelToken signal_cancel_token() {
+  static CancelToken token = CancelToken::make();
+  return token;
+}
+
+void install_signal_cancel() {
+  g_cancel_flag = signal_cancel_token().raw_flag();
+  struct sigaction action = {};
+  action.sa_handler = contango_cancel_signal_handler;
+  sigemptyset(&action.sa_mask);
+  // SA_RESTART: interrupted reads/writes resume, so a ^C can never tear a
+  // JSON report mid-write — the cancellation lands at the next token poll.
+  action.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+int signal_received() { return g_signal.load(std::memory_order_relaxed); }
+
+}  // namespace contango

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "util/cancel.h"
+
+namespace contango {
+
+/// \file signal.h
+/// \brief SIGINT/SIGTERM -> CancelToken bridging for long-running binaries.
+///
+/// The default signal disposition kills a bench or daemon process mid-write,
+/// truncating JSON reports and leaving stale socket files.  These helpers
+/// turn the first SIGINT/SIGTERM into a cooperative cancellation instead:
+/// the process-wide token fires, the suite/pipeline loops stop at their next
+/// safe boundary, reports are flushed, and the binary exits cleanly.  A
+/// *second* signal force-exits with the conventional 128+signum status, so
+/// an unresponsive run can still be killed from the keyboard.
+///
+/// Usage (see bench_table4_contest / contangod):
+///
+///     install_signal_cancel();
+///     options.flow.cancel = signal_cancel_token();
+///     SuiteReport report = run_suite(suite, options);   // stops early on ^C
+///     if (signal_cancel_token().cancelled()) { ...flushed partial report... }
+
+/// The process-wide cancellation token signals fire.  Valid from the first
+/// call; the same token is returned forever after.
+CancelToken signal_cancel_token();
+
+/// \brief Installs SIGINT and SIGTERM handlers that request_cancel() the
+/// process-wide token.  Idempotent; thread-safe only before threads spawn
+/// (call it at the top of main).  Handlers use SA_RESTART so interrupted
+/// slow syscalls resume and in-progress writes are never torn.
+void install_signal_cancel();
+
+/// The number of the first cancellation signal received, or 0.  The
+/// conventional exit status for a run ended by a signal is 128 + this.
+int signal_received();
+
+}  // namespace contango

@@ -1,0 +1,181 @@
+// io/json parser half: strict RFC 8259 acceptance, rejection with source
+// position, and — the property the service protocol stands on — exact
+// round-trips of everything JsonWriter emits (double bits, 64-bit
+// integers, escapes).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "cts/scenario.h"
+#include "cts/suite.h"
+#include "io/json.h"
+#include "netlist/io.h"
+
+using namespace contango;
+
+namespace {
+
+/// Expects parse_json to throw at exactly (line, column).
+void expect_rejects_at(const std::string& text, std::size_t line,
+                       std::size_t column) {
+  try {
+    parse_json(text);
+    FAIL() << "accepted malformed input: " << text;
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.line(), line) << e.what() << " input: " << text;
+    EXPECT_EQ(e.column(), column) << e.what() << " input: " << text;
+  }
+}
+
+}  // namespace
+
+TEST(JsonParser, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("1.5").as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(parse_json("-2.25e2").as_number(), -225.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse_json("  42  ").as_long(), 42);  // surrounding ws is fine
+}
+
+TEST(JsonParser, Containers) {
+  const JsonValue doc = parse_json(R"({"a": [1, 2, 3], "b": {"c": true}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.size(), 2u);
+  const JsonValue* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_EQ(a->items()[2].as_long(), 3);
+  ASSERT_NE(doc.find("b"), nullptr);
+  EXPECT_TRUE(doc.find("b")->bool_or("c", false));
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_TRUE(parse_json("[]").is_array());
+  EXPECT_EQ(parse_json("{}").size(), 0u);
+}
+
+TEST(JsonParser, MembersKeepDocumentOrderAndDuplicatesKeepFirst) {
+  const JsonValue doc = parse_json(R"({"z": 1, "a": 2, "z": 3})");
+  ASSERT_EQ(doc.members().size(), 3u);
+  EXPECT_EQ(doc.members()[0].first, "z");
+  EXPECT_EQ(doc.members()[1].first, "a");
+  EXPECT_EQ(doc.find("z")->as_long(), 1);  // first match wins
+}
+
+TEST(JsonParser, IntegersSurviveBeyondDoublePrecision) {
+  // 2^63 - 1 is not representable as a double; as_long must still be exact.
+  const long long big = std::numeric_limits<long long>::max();
+  const JsonValue v = parse_json(std::to_string(big));
+  EXPECT_EQ(v.as_long(), big);
+  EXPECT_EQ(parse_json("-9007199254740993").as_long(), -9007199254740993LL);
+  // A fractional number refuses as_long rather than rounding.
+  EXPECT_THROW(parse_json("1.5").as_long(), std::runtime_error);
+}
+
+TEST(JsonParser, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d\b\f\n\r\t")").as_string(),
+            "a\"b\\c/d\b\f\n\r\t");
+  EXPECT_EQ(parse_json(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+  // Surrogate pair -> one 4-byte UTF-8 code point (U+1F600).
+  EXPECT_EQ(parse_json(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParser, WriterRoundTripPreservesDoubleBits) {
+  const double values[] = {0.0,     -0.0, 1.0 / 3.0, 0.1 + 0.2,
+                           6.02e23, 5e-324 /* min subnormal */};
+  for (double v : values) {
+    const JsonValue parsed = parse_json(JsonWriter::number(v));
+    std::uint64_t in_bits, out_bits;
+    const double out = parsed.as_number();
+    std::memcpy(&in_bits, &v, sizeof(v));
+    std::memcpy(&out_bits, &out, sizeof(out));
+    EXPECT_EQ(in_bits, out_bits) << "value " << v;
+  }
+}
+
+TEST(JsonParser, WriterRoundTripFullDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("name", "suite \"x\"\nline2");
+  w.kv("count", 9007199254740993L);  // 2^53 + 1: double would lose it
+  w.kv("ratio", 0.30000000000000004);
+  w.kv("enabled", true);
+  w.key("runs");
+  w.begin_array();
+  w.value(1);
+  w.null_value();
+  w.value("done");
+  w.end_array();
+  w.end_object();
+
+  const JsonValue doc = parse_json(w.str());
+  EXPECT_EQ(doc.string_or("name", ""), "suite \"x\"\nline2");
+  EXPECT_EQ(doc.long_or("count", 0), 9007199254740993LL);
+  EXPECT_DOUBLE_EQ(doc.number_or("ratio", 0.0), 0.30000000000000004);
+  EXPECT_TRUE(doc.bool_or("enabled", false));
+  ASSERT_NE(doc.find("runs"), nullptr);
+  EXPECT_EQ(doc.find("runs")->items().size(), 3u);
+  EXPECT_TRUE(doc.find("runs")->items()[1].is_null());
+}
+
+TEST(JsonParser, RejectsWithPosition) {
+  expect_rejects_at("", 1, 1);
+  expect_rejects_at("{", 1, 2);           // unterminated object
+  expect_rejects_at("[1, 2,]", 1, 7);     // trailing comma
+  expect_rejects_at("{\"a\" 1}", 1, 6);   // missing colon
+  expect_rejects_at("{a: 1}", 1, 2);      // unquoted key
+  expect_rejects_at("[1] extra", 1, 5);   // trailing content
+  expect_rejects_at("01", 1, 2);          // leading zero
+  expect_rejects_at("+1", 1, 1);          // leading plus
+  expect_rejects_at("1.", 1, 3);          // bare decimal point
+  expect_rejects_at("\"ab", 1, 4);        // unterminated string
+  expect_rejects_at("\"\t\"", 1, 2);      // raw control char in string
+  expect_rejects_at("\"\\ud83d\"", 1, 8); // lone surrogate
+  expect_rejects_at("nul", 1, 1);         // truncated keyword
+  expect_rejects_at("{\n  \"a\": 1,\n  \"b\" 2\n}", 3, 7);  // line tracking
+}
+
+TEST(JsonParser, DepthLimitBoundsRecursion) {
+  std::string deep_ok(100, '['), deep_bad(200, '[');
+  deep_ok += std::string(100, ']');
+  deep_bad += std::string(200, ']');
+  EXPECT_NO_THROW(parse_json(deep_ok));
+  EXPECT_THROW(parse_json(deep_bad), JsonParseError);
+}
+
+TEST(JsonParser, CheckedAccessorsNameBothKinds) {
+  const JsonValue v = parse_json("[1]");
+  try {
+    v.as_string();
+    FAIL() << "as_string on an array should throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("array"), std::string::npos) << what;
+    EXPECT_NE(what.find("string"), std::string::npos) << what;
+  }
+}
+
+TEST(JsonParser, ParsesSuiteReport) {
+  // End-to-end with the real writer client: a tiny suite report must parse
+  // and carry the same benchmark_hash the hash API computes directly.
+  const Benchmark bench = make_scenario("ring", /*seed=*/1);
+  SuiteOptions options;
+  options.threads = 1;
+  const SuiteReport report = run_suite({bench}, options);
+  const JsonValue doc = parse_json(report.to_json());
+
+  const JsonValue* runs = doc.find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->items().size(), 1u);
+  const JsonValue& run = runs->items()[0];
+  EXPECT_EQ(run.string_or("benchmark", ""), bench.name);
+  EXPECT_TRUE(run.bool_or("ok", false));
+  EXPECT_FALSE(run.bool_or("cancelled", true));
+  EXPECT_EQ(run.string_or("benchmark_hash", ""),
+            benchmark_content_hash(bench).hex());
+}
