@@ -13,16 +13,25 @@
 // are input-order-stable and identical to a serial run.
 //
 // Default sweep: 200 / 500 / 1K / 2K / 5K / 10K sinks.  Set
-// CONTANGO_MAX_SINKS (e.g. 20000 or 50000) to extend the sweep toward the
-// paper's full range; runtime grows roughly linearly with sinks.
+// CONTANGO_MAX_SINKS (e.g. 20000, 50000 or 1000000) to extend the sweep
+// toward — and past — the paper's full range; runtime grows roughly
+// linearly with sinks.
 //
 // Set CONTANGO_SCENARIO to a registered scenario-family name (see
 // cts/scenario.h: uniform, clustered, ring, obstacle_dense, high_fanout,
-// mixed_cap, huge) to run the same scaling sweep over that family instead
-// of the TI-style chip; CONTANGO_SEED picks the instance.  The `huge`
-// family reaches 100k+ sinks; CONTANGO_SPATIAL=0 forces the reference
-// linear-scan geometry paths for index-vs-scan scaling comparisons
-// (results are bit-identical, only the time changes).
+// mixed_cap, huge, mega) to run the same scaling sweep over that family
+// instead of the TI-style chip; CONTANGO_SEED picks the instance.  The
+// `huge` family reaches 100k+ sinks and `mega` the 1M tier;
+// CONTANGO_SPATIAL=0 forces the reference linear-scan geometry paths for
+// index-vs-scan scaling comparisons (results are bit-identical, only the
+// time changes).
+//
+// Set CONTANGO_WORKLOADS to a collect_workloads() spec (family names,
+// .bench/.cbench files, directories — see cts/scenario.h) to run exactly
+// those workloads instead of a sweep.  Loading is timed per benchmark and
+// lands in the JSON report as `load_seconds`, which is how the trajectory
+// compares text-parse vs. binary-mmap load cost (CONTANGO_MMAP=0 forces
+// the buffered fallback; results are bit-identical).
 
 #include <cstdio>
 #include <exception>
@@ -33,21 +42,43 @@
 #include "netlist/generators.h"
 #include "util/env.h"
 #include "util/signal.h"
+#include "util/timer.h"
 
 using namespace contango;
 
 int main() {
   const long max_sinks = env_long("CONTANGO_MAX_SINKS", 10000);
   const std::string scenario = env_string("CONTANGO_SCENARIO", "");
+  const std::string workloads = env_string("CONTANGO_WORKLOADS", "");
   const auto seed = static_cast<std::uint64_t>(env_long("CONTANGO_SEED", 1));
+
+  // CONTANGO_THREADS, CONTANGO_PIPELINE, the optional CONTANGO_MC_*
+  // Monte-Carlo pass, and CONTANGO_JSON_OUT for the machine-readable report.
+  SuiteOptions options;
+  try {
+    options = suite_options_from_env();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad environment: %s\n", e.what());
+    return 1;
+  }
+
   std::vector<Benchmark> suite;
-  for (int n : {200, 500, 1000, 2000, 5000, 10000, 20000, 50000, 100000}) {
-    if (n > max_sinks) continue;
-    if (scenario.empty()) {
-      suite.push_back(generate_ti_like(n));
-    } else {
+  if (!workloads.empty()) {
+    try {
+      suite = collect_workloads(workloads, seed, &options.load_seconds);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "CONTANGO_WORKLOADS: %s\n", e.what());
+      return 1;
+    }
+  } else {
+    for (int n : {200, 500, 1000, 2000, 5000, 10000, 20000, 50000, 100000,
+                  200000, 500000, 1000000}) {
+      if (n > max_sinks) continue;
       try {
-        suite.push_back(make_scenario(scenario, seed, n));
+        Timer load_timer;
+        suite.push_back(scenario.empty() ? generate_ti_like(n)
+                                         : make_scenario(scenario, seed, n));
+        options.load_seconds.push_back(load_timer.seconds());
       } catch (const std::exception& e) {
         std::fprintf(stderr, "CONTANGO_SCENARIO: %s\n", e.what());
         return 1;
@@ -55,7 +86,12 @@ int main() {
     }
   }
 
-  if (scenario.empty()) {
+  if (!workloads.empty()) {
+    std::printf("== Table V variant: CONTANGO_WORKLOADS=%s ==\n",
+                workloads.c_str());
+    std::printf("(%zu workloads; latency = max nominal-corner latency)\n\n",
+                suite.size());
+  } else if (scenario.empty()) {
     std::printf("== Table V: scalability on TI-style benchmarks ==\n");
     std::printf("(die 4.2 x 3.0 mm, sinks sampled from one 135K pool;\n");
     std::printf(" latency = max nominal-corner latency)\n\n");
@@ -72,15 +108,6 @@ int main() {
     return 0;
   }
 
-  // CONTANGO_THREADS, CONTANGO_PIPELINE, the optional CONTANGO_MC_*
-  // Monte-Carlo pass, and CONTANGO_JSON_OUT for the machine-readable report.
-  SuiteOptions options;
-  try {
-    options = suite_options_from_env();
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "bad environment: %s\n", e.what());
-    return 1;
-  }
   // ^C / SIGTERM stop the sweep at the next benchmark/pass boundary with
   // the finished rows (and the JSON report) intact.
   install_signal_cancel();

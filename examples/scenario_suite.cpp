@@ -22,7 +22,6 @@
 #include "cts/pipeline.h"
 #include "cts/scenario.h"
 #include "cts/suite.h"
-#include "util/env.h"
 
 using namespace contango;
 
@@ -53,13 +52,15 @@ int main(int argc, char** argv) {
   }
 
   SuiteOptions options;
-  options.threads = threads;
-  options.flow.pipeline = env_string("CONTANGO_PIPELINE", "");
   try {
-    Pipeline::from_options(options.flow);  // reject bad specs up front
-  } catch (const PipelineError& e) {
-    std::fprintf(stderr, "CONTANGO_PIPELINE: %s\n", e.what());
+    options = suite_options_from_env();  // CONTANGO_PIPELINE, _JSON_OUT, ...
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 1;
+  }
+  if (argc > 2) options.threads = threads;  // argv beats CONTANGO_THREADS
+  if (!options.pipeline_spec.empty()) {
+    options.flow.pipeline = options.pipeline_spec;
   }
   std::printf("pipeline: %s\n",
               resolved_pipeline_spec(options.flow).c_str());

@@ -25,8 +25,15 @@ Usage:
                                       [--build-dir build] [--out FILE]
                                       [--max-sinks 2000] [--threads 1]
                                       [--scenario huge] [--seed 1]
+                                      [--workloads mega_1m.cbench]
                                       [--force-full] [--force-scalar]
-                                      [--force-scan]
+                                      [--force-scan] [--force-buffered]
+
+``--workloads`` (table5 only) runs a collect_workloads() spec — scenario
+families, ``.bench``/``.cbench`` files, directories — instead of a sweep;
+per-run ``load_seconds`` land in the report, so a text-vs-binary pair of
+points (e.g. ``pr9-text`` vs ``pr9-binary``) separates parse/load cost
+from flow cost.
 
 Exit status is non-zero when the bench fails or a report is malformed.
 """
@@ -86,6 +93,11 @@ def main() -> int:
                              "of the TI-style chip")
     parser.add_argument("--seed", type=int, default=1,
                         help="CONTANGO_SEED for --scenario instances")
+    parser.add_argument("--workloads", default="",
+                        help="CONTANGO_WORKLOADS spec for the table5 driver: "
+                             "run exactly these workloads (family names, "
+                             ".bench/.cbench files, directories) instead of "
+                             "a sink-count sweep; records load_seconds")
     parser.add_argument("--force-full", action="store_true",
                         help="set CONTANGO_INCREMENTAL=0 (baseline comparison runs)")
     parser.add_argument("--force-scalar", action="store_true",
@@ -93,6 +105,9 @@ def main() -> int:
     parser.add_argument("--force-scan", action="store_true",
                         help="set CONTANGO_SPATIAL=0 (linear-scan geometry "
                              "comparison runs)")
+    parser.add_argument("--force-buffered", action="store_true",
+                        help="set CONTANGO_MMAP=0 (buffered-read .cbench "
+                             "loading instead of mmap)")
     args = parser.parse_args()
 
     build_dir = pathlib.Path(args.build_dir)
@@ -124,12 +139,17 @@ def main() -> int:
     if args.scenario:
         env["CONTANGO_SCENARIO"] = args.scenario
         env["CONTANGO_SEED"] = str(args.seed)
+    if args.workloads:
+        env["CONTANGO_WORKLOADS"] = args.workloads
+        env["CONTANGO_SEED"] = str(args.seed)
     if args.force_full:
         env["CONTANGO_INCREMENTAL"] = "0"
     if args.force_scalar:
         env["CONTANGO_BATCH"] = "0"
     if args.force_scan:
         env["CONTANGO_SPATIAL"] = "0"
+    if args.force_buffered:
+        env["CONTANGO_MMAP"] = "0"
 
     config = {
         "binary": BENCH_BINARIES[args.bench],
@@ -137,11 +157,15 @@ def main() -> int:
         "incremental": not args.force_full,
         "batch": not args.force_scalar,
         "spatial": not args.force_scan,
+        "mmap": not args.force_buffered,
     }
     if args.bench == "table5":
         config["max_sinks"] = args.max_sinks
         if args.scenario:
             config["scenario"] = args.scenario
+            config["seed"] = args.seed
+        if args.workloads:
+            config["workloads"] = args.workloads
             config["seed"] = args.seed
 
     print(f"bench_snapshot: running {bench} "

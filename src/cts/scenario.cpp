@@ -1,5 +1,6 @@
 #include "cts/scenario.h"
 
+#include <chrono>
 #include <filesystem>
 #include <stdexcept>
 
@@ -126,6 +127,17 @@ ScenarioRegistry build_builtin() {
                   return generate_huge(p);
                 }});
 
+  registry.add({"mega",
+                "reticle-filling die for the out-of-core 1M tier; streams "
+                "straight to .cbench via contango-pack gen-mega",
+                2400,
+                [](std::uint64_t seed, int n) {
+                  MegaGenParams p;
+                  p.num_sinks = n;
+                  p.seed = seed;
+                  return generate_mega(p);
+                }});
+
   return registry;
 }
 
@@ -198,8 +210,26 @@ Benchmark make_scenario(const std::string& name, std::uint64_t seed, int num_sin
 }
 
 std::vector<Benchmark> collect_workloads(const std::string& spec, std::uint64_t seed) {
+  return collect_workloads(spec, seed, nullptr);
+}
+
+std::vector<Benchmark> collect_workloads(const std::string& spec, std::uint64_t seed,
+                                         std::vector<double>* load_seconds) {
   const ScenarioRegistry& registry = ScenarioRegistry::builtin();
   std::vector<Benchmark> suite;
+  if (load_seconds != nullptr) load_seconds->clear();
+
+  // Records how long acquiring one benchmark took (generator call, text
+  // parse or binary load), keeping load_seconds index-aligned with suite.
+  const auto timed = [&](auto&& acquire) {
+    const auto t0 = std::chrono::steady_clock::now();
+    suite.push_back(acquire());
+    if (load_seconds != nullptr) {
+      load_seconds->push_back(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+  };
 
   std::size_t begin = 0;
   while (begin <= spec.size()) {
@@ -234,23 +264,26 @@ std::vector<Benchmark> collect_workloads(const std::string& spec, std::uint64_t 
       }
     }
     if (registry.contains(family)) {
-      suite.push_back(registry.make(family, seed, num_sinks));
+      timed([&] { return registry.make(family, seed, num_sinks); });
       continue;
     }
 
-    // 2./3. A .bench file or a directory of them.
+    // 2./3. A .bench/.cbench file or a directory of them.
     std::error_code ec;
     if (std::filesystem::is_directory(element, ec)) {
-      std::vector<Benchmark> dir = read_benchmark_dir(element);
-      if (dir.empty()) {
-        throw std::invalid_argument("workload element '" + element +
-                                    "' is a directory with no .bench files");
+      const std::vector<std::string> files = list_benchmark_files(element);
+      if (files.empty()) {
+        throw std::invalid_argument(
+            "workload element '" + element +
+            "' is a directory with no .bench or .cbench files");
       }
-      for (Benchmark& b : dir) suite.push_back(std::move(b));
+      for (const std::string& path : files) {
+        timed([&] { return read_benchmark_file(path); });
+      }
       continue;
     }
     if (std::filesystem::is_regular_file(element, ec)) {
-      suite.push_back(read_benchmark_file(element));
+      timed([&] { return read_benchmark_file(element); });
       continue;
     }
 
@@ -263,7 +296,7 @@ std::vector<Benchmark> collect_workloads(const std::string& spec, std::uint64_t 
     throw std::invalid_argument(
         "workload element '" + element +
         "' is neither a registered scenario family nor an existing "
-        ".bench file/directory (families: " + join_names(registry) + ")");
+        ".bench/.cbench file/directory (families: " + join_names(registry) + ")");
   }
   return suite;
 }

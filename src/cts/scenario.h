@@ -29,8 +29,8 @@ namespace contango {
 
 /// \brief Registry of scenario families, enumerable by name.
 ///
-/// The builtin() registry carries the six stock families; tests and tools
-/// may build private registries with custom families on top.
+/// The builtin() registry carries the eight stock families; tests and
+/// tools may build private registries with custom families on top.
 class ScenarioRegistry {
  public:
   /// Builds one instance of a family.  `seed` drives all randomness;
@@ -78,8 +78,8 @@ class ScenarioRegistry {
   /// registration order.
   std::vector<Benchmark> make_all(std::uint64_t seed) const;
 
-  /// The six stock families: uniform, clustered, ring, obstacle_dense,
-  /// high_fanout, mixed_cap.
+  /// The eight stock families: uniform, clustered, ring, obstacle_dense,
+  /// high_fanout, mixed_cap, huge, mega.
   static const ScenarioRegistry& builtin();
 
  private:
@@ -94,14 +94,26 @@ Benchmark make_scenario(const std::string& name, std::uint64_t seed, int num_sin
 /// Each element of `spec` is, tried in this order:
 ///   1. a registered family name, optionally with a `:<num_sinks>` override
 ///      (e.g. `ring` or `high_fanout:1000`) — instantiated at `seed`;
-///   2. a `.bench` file path — parsed from disk;
-///   3. a directory path — every `.bench` file in it, sorted by filename.
+///   2. a `.bench` (text) or `.cbench` (binary, netlist/binio.h) file path
+///      — loaded from disk;
+///   3. a directory path — every `.bench`/`.cbench` file in it, sorted by
+///      filename (a directory may mix both formats).
 ///
 /// Examples: `"uniform,ring:256"`, `"benchmarks"`,
-/// `"benchmarks/ring_s1.bench,clustered"`.
+/// `"benchmarks/ring_s1.bench,mega_1m.cbench,clustered"`.
 /// \throws std::invalid_argument for an element that is neither a known
 ///         family nor an existing path; parse errors propagate as
 ///         BenchmarkParseError
 std::vector<Benchmark> collect_workloads(const std::string& spec, std::uint64_t seed);
+
+/// \brief As above, additionally reporting per-benchmark acquisition time.
+///
+/// `load_seconds` (when non-null) is cleared and filled index-aligned with
+/// the returned vector: generator wall time for family elements, parse
+/// time for `.bench` files, mmap+validate+materialize time for `.cbench`
+/// files.  Suite runners thread these into SuiteRun::load_seconds so the
+/// trajectory separates I/O wins from kernel wins.
+std::vector<Benchmark> collect_workloads(const std::string& spec, std::uint64_t seed,
+                                         std::vector<double>* load_seconds);
 
 }  // namespace contango

@@ -151,6 +151,7 @@ std::string SuiteReport::to_json() const {
       continue;
     }
     w.kv("seconds", r.seconds);
+    if (r.load_seconds >= 0.0) w.kv("load_seconds", r.load_seconds);
     w.kv("sim_runs", static_cast<long>(r.result.sim_runs));
     w.kv("full_evals", static_cast<long>(r.result.full_evals));
     w.kv("incremental_evals", static_cast<long>(r.result.incremental_evals));
@@ -264,6 +265,9 @@ SuiteReport run_suite(const std::vector<Benchmark>& suite,
                                  ? obstacles.union_area() / bench.die.area()
                                  : 0.0;
       run.benchmark_hash = benchmark_content_hash(bench).hex();
+      if (i < options.load_seconds.size()) {
+        run.load_seconds = options.load_seconds[i];
+      }
       if (options.on_run_start) {
         std::lock_guard<std::mutex> lock(done_mutex);
         options.on_run_start(run);
@@ -322,7 +326,10 @@ SuiteReport run_suite(const std::vector<Benchmark>& suite,
 
 SuiteReport run_suite_spec(const std::string& spec, std::uint64_t seed,
                            const SuiteOptions& options) {
-  return run_suite(collect_workloads(spec, seed), options);
+  SuiteOptions timed_options = options;
+  const std::vector<Benchmark> suite =
+      collect_workloads(spec, seed, &timed_options.load_seconds);
+  return run_suite(suite, timed_options);
 }
 
 std::vector<std::string> unknown_contango_env_vars() {
@@ -344,6 +351,7 @@ std::vector<std::string> unknown_contango_env_vars() {
       "CONTANGO_MC_SIGMA_WIRE",
       "CONTANGO_MC_SKEW_TARGET",
       "CONTANGO_MC_TRIALS",
+      "CONTANGO_MMAP",
       "CONTANGO_PIPELINE",
       "CONTANGO_SCENARIO",
       "CONTANGO_SEED",
@@ -391,6 +399,8 @@ SuiteOptions suite_options_from_env(SuiteOptions base) {
   // sample it at construction); the strict read here only rejects malformed
   // values up front, like every other knob.
   env_long_strict("CONTANGO_SPATIAL", 1);
+  // Same story for CONTANGO_MMAP, consumed in io/mmap.h at file open.
+  env_long_strict("CONTANGO_MMAP", 1);
   base.mc_trials =
       static_cast<int>(env_long_strict("CONTANGO_MC_TRIALS", base.mc_trials));
   if (base.mc_trials < 0) {

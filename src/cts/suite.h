@@ -72,6 +72,14 @@ struct SuiteOptions {
   /// Serialized with on_run_done by the same lock.
   std::function<void(const SuiteRun&)> on_run_start;
 
+  /// Per-benchmark acquisition wall times (generator call, text parse or
+  /// `.cbench` mmap load), index-aligned with the suite passed to
+  /// run_suite(); entries copy into SuiteRun::load_seconds so reports
+  /// separate I/O cost from flow cost.  Leave empty when unknown — shorter
+  /// vectors simply leave the remaining runs unannotated.
+  /// run_suite_spec() fills this from the timed collect_workloads().
+  std::vector<double> load_seconds;
+
   // Cancellation note: the runner polls `flow.cancel` (util/cancel.h)
   // before each benchmark — and the pipeline polls it at pass boundaries —
   // so a cancelled suite finishes quickly with the remaining runs marked
@@ -99,6 +107,12 @@ struct SuiteRun {
   double obstacle_density = 0.0;         ///< union area / die area, 0..1
   FlowResult result;
   double seconds = 0.0;  ///< wall time of this run on its worker
+
+  /// Wall time spent acquiring this benchmark (parse/mmap/generate) before
+  /// the suite started, from SuiteOptions::load_seconds; negative when
+  /// unknown.  JSON reports emit `load_seconds` only when known, so
+  /// reports without load timing stay unchanged.
+  double load_seconds = -1.0;
   bool ok = false;       ///< false when the flow threw; see `error`
   std::string error;
 
@@ -206,6 +220,11 @@ SuiteReport run_suite_spec(const std::string& spec, std::uint64_t seed,
 ///                               bit-identical either way; read by
 ///                               geom/spatial.h at query-structure
 ///                               construction, validated here)
+///   CONTANGO_MMAP            -> `.cbench` load backend (0 forces the
+///                               buffered-read fallback instead of mmap;
+///                               default 1, results are bit-identical
+///                               either way; read by io/mmap.h at file
+///                               open, validated here)
 ///   CONTANGO_MC_TRIALS       -> mc_trials (0 keeps MC off)
 ///   CONTANGO_MC_SIGMA_VDD    -> variation.sigma_vdd (default 0.05)
 ///   CONTANGO_MC_SEED         -> variation.seed

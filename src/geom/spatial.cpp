@@ -19,7 +19,8 @@ SpatialMode resolve_spatial_mode(SpatialMode mode) {
 // ---------------------------------------------------------------------------
 // RectIntervalIndex
 
-RectIntervalIndex::RectIntervalIndex(const std::vector<Rect>& rects) {
+RectIntervalIndex::RectIntervalIndex(const std::vector<Rect>& rects,
+                                     IndexBuild build) {
   xlo_.reserve(rects.size());
   xhi_.reserve(rects.size());
   ylo_.reserve(rects.size());
@@ -30,11 +31,48 @@ RectIntervalIndex::RectIntervalIndex(const std::vector<Rect>& rects) {
     ylo_.push_back(r.ylo);
     yhi_.push_back(r.yhi);
   }
-  if (rects.empty()) return;
-  std::vector<std::size_t> ids(rects.size());
-  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
-  nodes_.reserve(2 * rects.size());
-  root_ = build(ids);
+  construct(build);
+}
+
+RectIntervalIndex::RectIntervalIndex(const double* records, std::size_t count,
+                                     std::size_t stride_doubles,
+                                     IndexBuild build) {
+  xlo_.reserve(count);
+  xhi_.reserve(count);
+  ylo_.reserve(count);
+  yhi_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double* r = records + i * stride_doubles;
+    xlo_.push_back(r[0]);
+    ylo_.push_back(r[1]);
+    xhi_.push_back(r[2]);
+    yhi_.push_back(r[3]);
+  }
+  construct(build);
+}
+
+void RectIntervalIndex::construct(IndexBuild build_method) {
+  const std::size_t n = xlo_.size();
+  if (n == 0) return;
+  nodes_.reserve(2 * n);
+  if (build_method == IndexBuild::kIncremental) {
+    std::vector<std::size_t> ids(n);
+    for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+    root_ = build(ids);
+    return;
+  }
+  // STR bulk path: the *only* sorts of the whole build.  Every recursion
+  // level below partitions these stably, so each node's spanning lists come
+  // out already in the order the incremental build sorts them into.
+  std::vector<std::size_t> by_lo(n), by_hi(n);
+  for (std::size_t i = 0; i < n; ++i) by_lo[i] = by_hi[i] = i;
+  std::sort(by_lo.begin(), by_lo.end(), [this](std::size_t a, std::size_t b) {
+    return xlo_[a] != xlo_[b] ? xlo_[a] < xlo_[b] : a < b;
+  });
+  std::sort(by_hi.begin(), by_hi.end(), [this](std::size_t a, std::size_t b) {
+    return xhi_[a] != xhi_[b] ? xhi_[a] > xhi_[b] : a < b;
+  });
+  root_ = build_str(by_lo, by_hi);
 }
 
 int RectIntervalIndex::build(std::vector<std::size_t>& ids) {
@@ -88,6 +126,75 @@ int RectIntervalIndex::build(std::vector<std::size_t>& ids) {
   // nodes_ stay valid because we only ever push_back.
   const int l = build(left);
   const int r = build(right);
+  nodes_[static_cast<std::size_t>(id)].left = l;
+  nodes_[static_cast<std::size_t>(id)].right = r;
+  return id;
+}
+
+int RectIntervalIndex::build_str(std::vector<std::size_t>& by_lo,
+                                 std::vector<std::size_t>& by_hi) {
+  if (by_lo.empty()) return -1;
+  const std::size_t n = by_lo.size();
+  // The incremental build centers on endpoints[size()/2] after nth_element
+  // over the 2n interval endpoints — the n-th smallest (0-indexed) value of
+  // the multiset {xlo} u {xhi}.  Recover exactly that value by merge-walking
+  // the two pre-sorted lists: by_lo yields xlo ascending, by_hi *reversed*
+  // yields xhi ascending.  Ties pick either side — the k-th order statistic
+  // of a multiset does not depend on which equal element is consumed first.
+  double center = 0.0;
+  {
+    std::size_t li = 0;   // next by_lo entry (xlo ascending)
+    std::size_t hj = n;   // by_hi[hj - 1] is the next xhi in ascending order
+    for (std::size_t step = 0; step <= n; ++step) {
+      const bool take_lo =
+          li < n && (hj == 0 || xlo_[by_lo[li]] <= xhi_[by_hi[hj - 1]]);
+      if (take_lo) {
+        center = xlo_[by_lo[li++]];
+      } else {
+        center = xhi_[by_hi[--hj]];
+      }
+    }
+  }
+
+  Node node;
+  node.center = center;
+  // Stable three-way partition of both orderings.  The spanning sublist of
+  // by_lo is already (xlo asc, id asc) and of by_hi already (xhi desc,
+  // id asc) — precisely the sorts the incremental build performs per node.
+  std::vector<std::size_t> left_lo, right_lo, left_hi, right_hi;
+  for (const std::size_t i : by_lo) {
+    if (xhi_[i] < center) {
+      left_lo.push_back(i);
+    } else if (xlo_[i] > center) {
+      right_lo.push_back(i);
+    } else {
+      node.by_xlo.push_back(i);
+    }
+  }
+  for (const std::size_t i : by_hi) {
+    if (xhi_[i] < center) {
+      left_hi.push_back(i);
+    } else if (xlo_[i] > center) {
+      right_hi.push_back(i);
+    } else {
+      node.by_xhi.push_back(i);
+    }
+  }
+  // Same degenerate-split guard as the incremental build (see build()):
+  // park everything at this node rather than recursing forever.  The full
+  // lists are already in the node's sort orders, so this is a plain move.
+  if (node.by_xlo.empty() && (left_lo.empty() || right_lo.empty())) {
+    node.by_xlo = std::move(by_lo);
+    node.by_xhi = std::move(by_hi);
+    left_lo.clear();
+    right_lo.clear();
+    left_hi.clear();
+    right_hi.clear();
+  }
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  const int l = build_str(left_lo, left_hi);
+  const int r = build_str(right_lo, right_hi);
   nodes_[static_cast<std::size_t>(id)].left = l;
   nodes_[static_cast<std::size_t>(id)].right = r;
   return id;
@@ -275,6 +382,29 @@ PointNnGrid::PointNnGrid(const Rect& bounds, std::size_t expected)
   cell_h_ = std::max(bounds_.height() / n_, 1e-9);
   cell_min_ = std::min(cell_w_, cell_h_);
   cells_.assign(static_cast<std::size_t>(n_) * n_, {});
+}
+
+PointNnGrid::PointNnGrid(const Rect& bounds, const double* records,
+                         std::size_t count, std::size_t stride_doubles)
+    : PointNnGrid(bounds, count) {
+  items_.reserve(count);
+  std::vector<std::size_t> cell_of(count);
+  std::vector<std::size_t> per_cell(cells_.size(), 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double* r = records + i * stride_doubles;
+    const std::size_t cell =
+        static_cast<std::size_t>(cell_y(r[1])) * n_ + cell_x(r[0]);
+    cell_of[i] = cell;
+    ++per_cell[cell];
+  }
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    cells_[c].reserve(per_cell[c]);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const double* r = records + i * stride_doubles;
+    items_.push_back(Item{Point{r[0], r[1]}, static_cast<int>(i)});
+    cells_[cell_of[i]].push_back(i);
+  }
 }
 
 int PointNnGrid::cell_x(double x) const {

@@ -20,7 +20,10 @@ namespace contango {
 ///   - RectIntervalIndex: a static interval tree over rectangle x-extents
 ///     with an inline y filter.  Answers "which rectangles intersect this
 ///     query box" in O(log n + k) for the point/segment/window probes the
-///     obstacle legality queries issue (ObstacleSet, MazeRouter).
+///     obstacle legality queries issue (ObstacleSet, MazeRouter).  Built
+///     by default with a sort-tile-recursive (STR) bulk pass — sort once,
+///     partition stably — that produces the identical tree to the legacy
+///     per-node-sort build (IndexBuild selects; tests compare them).
 ///   - TiltedNnIndex: a kd-tree over DME merge regions (tilted rectangles)
 ///     with subtree bounding boxes for exact nearest-neighbour pruning.
 ///     Replaces the flat region scan of the bottom-up merge pairing.
@@ -51,6 +54,16 @@ bool spatial_index_enabled();
 /// Resolves kAuto against the env knob; returns the mode otherwise.
 SpatialMode resolve_spatial_mode(SpatialMode mode);
 
+/// How a static index is constructed.  Both algorithms produce the *same
+/// tree* (same node centers, same per-node lists, same node numbering), so
+/// the choice is purely a build-time cost question; tests/test_spatial.cpp
+/// asserts the equivalence differentially.
+enum class IndexBuild {
+  kBulkStr,      ///< sort-tile-recursive: sort once globally, partition
+                 ///< stably per level — O(n log n) total, the default
+  kIncremental,  ///< legacy per-node nth_element + sorts — O(n log^2 n)
+};
+
 /// Static interval tree over rectangle x-extents.  Built once over an
 /// immutable rectangle set; intersecting() reports the indices of all
 /// rectangles whose *closed* extent intersects a closed query box, in
@@ -59,7 +72,17 @@ SpatialMode resolve_spatial_mode(SpatialMode mode);
 class RectIntervalIndex {
  public:
   RectIntervalIndex() = default;
-  explicit RectIntervalIndex(const std::vector<Rect>& rects);
+  explicit RectIntervalIndex(const std::vector<Rect>& rects,
+                             IndexBuild build = IndexBuild::kBulkStr);
+
+  /// Bulk construction straight from fixed-stride coordinate records —
+  /// the zero-copy form the mmap-backed `.cbench` loader hands out.  Each
+  /// record is `stride_doubles` doubles starting at
+  /// `records + i * stride_doubles`, with the first four being
+  /// xlo, ylo, xhi, yhi (Rect member order); `stride_doubles >= 4`.
+  RectIntervalIndex(const double* records, std::size_t count,
+                    std::size_t stride_doubles,
+                    IndexBuild build = IndexBuild::kBulkStr);
 
   bool empty() const { return xlo_.empty(); }
   std::size_t size() const { return xlo_.size(); }
@@ -85,7 +108,9 @@ class RectIntervalIndex {
     std::vector<std::size_t> by_xhi;  ///< same rects, xhi descending
   };
 
+  void construct(IndexBuild build);
   int build(std::vector<std::size_t>& ids);
+  int build_str(std::vector<std::size_t>& by_lo, std::vector<std::size_t>& by_hi);
   void query_node(int node, const Rect& q, std::vector<std::size_t>& out) const;
 
   // Rect coordinates copied into flat arrays (cache-friendly probes).
@@ -190,6 +215,17 @@ class PointNnGrid {
   /// edge cells — correctness is unaffected, only locality); `expected`
   /// sizes the grid (~sqrt(expected) cells per side).
   PointNnGrid(const Rect& bounds, std::size_t expected);
+
+  /// Bulk construction from fixed-stride coordinate records — the
+  /// zero-copy form the mmap-backed `.cbench` loader hands out.  Each
+  /// record is `stride_doubles` doubles starting at
+  /// `records + i * stride_doubles`, the first two being x, y; record i
+  /// gets id `i`.  Two-pass counting layout: cells are counted, reserved
+  /// exactly, then filled — no per-insert reallocation.  The resulting
+  /// grid answers every nearest() query identically to `expected = count`
+  /// incremental insert()s of the same points in id order.
+  PointNnGrid(const Rect& bounds, const double* records, std::size_t count,
+              std::size_t stride_doubles);
 
   void insert(const Point& p, int id);
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -89,5 +90,44 @@ struct HugeGenParams {
 
 /// Generates one huge-scale benchmark.  Deterministic in the seed.
 Benchmark generate_huge(const HugeGenParams& params);
+
+/// Parameters of the mega-scale generator: a reticle-filling die with a
+/// denser macro floorplan than `huge`, sized for the out-of-core 1M-sink
+/// tier.  Like `huge` the placement is row-based and O(n), but the family
+/// additionally offers a *streaming* emitter (generate_mega_cbench) that
+/// writes `.cbench` bytes sink-by-sink, so a million-sink instance is
+/// produced without ever materializing the netlist in memory.
+struct MegaGenParams {
+  std::string name = "mega";
+  Um die_w = 33600.0;
+  Um die_h = 24000.0;
+  int num_sinks = 1000000;
+  int num_rows = 1200;       ///< placement rows; density varies row to row
+  int num_obstacles = 300;   ///< hard macros (some spawned abutting)
+  double abut_fraction = 0.35;
+  Um obstacle_min = 250.0;
+  Um obstacle_max = 1400.0;
+  Ff sink_cap_min = 3.0;
+  Ff sink_cap_max = 20.0;
+  std::uint64_t seed = 1;
+};
+
+/// Generates one mega-scale benchmark in memory.  Deterministic in the
+/// seed; identical content to the streaming variant below.
+Benchmark generate_mega(const MegaGenParams& params);
+
+/// \brief Streams the same instance directly to `.cbench` bytes.
+///
+/// Peak memory is the obstacle list plus writer state — sinks and their
+/// names are emitted and dropped one at a time.  The output is
+/// byte-identical to `write_cbench(generate_mega(params), out)`, which the
+/// tests lock in at small sizes.
+/// \param out seekable binary stream (see netlist/binio.h)
+void generate_mega_cbench(const MegaGenParams& params, std::ostream& out);
+
+/// \brief Streams a mega instance to a `.cbench` file on disk.
+/// \throws std::runtime_error when the file cannot be created
+void generate_mega_cbench_file(const MegaGenParams& params,
+                               const std::string& path);
 
 }  // namespace contango

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "netlist/binio.h"
+
 namespace contango {
 namespace {
 
@@ -146,6 +148,7 @@ Benchmark read_benchmark(std::istream& in, const std::string& context) {
 }
 
 Benchmark read_benchmark_file(const std::string& path) {
+  if (ends_with(path, kCbenchExtension)) return read_cbench_file(path);
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open benchmark file: " + path);
   return read_benchmark(in, path);
@@ -161,7 +164,9 @@ std::vector<std::string> list_benchmark_files(const std::string& dir) {
   }
   std::vector<std::string> paths;
   for (const fs::directory_entry& entry : it) {
-    if (entry.is_regular_file() && ends_with(entry.path().filename().string(), ".bench")) {
+    if (!entry.is_regular_file()) continue;
+    const std::string filename = entry.path().filename().string();
+    if (ends_with(filename, ".bench") || ends_with(filename, kCbenchExtension)) {
       paths.push_back(entry.path().string());
     }
   }
@@ -178,21 +183,23 @@ std::vector<Benchmark> read_benchmark_dir(const std::string& dir) {
   return suite;
 }
 
+void require_token_name(const std::string& name, const char* what) {
+  if (name.empty() || name.find_first_of(" \t\n\r#") != std::string::npos) {
+    throw std::invalid_argument(std::string(what) + " name '" + name +
+                                "' is not a plain token (empty, whitespace "
+                                "or '#')");
+  }
+}
+
 void write_benchmark(const Benchmark& bench, std::ostream& out) {
   // Names are single tokens in the format; writing one with whitespace
   // would silently corrupt on read-back.
-  auto check_token = [](const std::string& name, const char* what) {
-    if (name.empty() || name.find_first_of(" \t\n\r#") != std::string::npos) {
-      throw std::invalid_argument("write_benchmark: " + std::string(what) +
-                                  " name '" + name +
-                                  "' is not a plain token (empty, whitespace "
-                                  "or '#')");
-    }
-  };
-  check_token(bench.name, "benchmark");
-  for (const WireType& w : bench.tech.wires) check_token(w.name, "wire");
-  for (const InverterType& inv : bench.tech.inverters) check_token(inv.name, "inverter");
-  for (const Sink& s : bench.sinks) check_token(s.name, "sink");
+  require_token_name(bench.name, "benchmark");
+  for (const WireType& w : bench.tech.wires) require_token_name(w.name, "wire");
+  for (const InverterType& inv : bench.tech.inverters) {
+    require_token_name(inv.name, "inverter");
+  }
+  for (const Sink& s : bench.sinks) require_token_name(s.name, "sink");
 
   out.precision(17);  // lossless double round-trip
   out << "# contango CNS benchmark\n";
@@ -236,10 +243,42 @@ void write_benchmark_file(const Benchmark& bench, const std::string& path) {
   write_benchmark(bench, out);
 }
 
+namespace {
+
+/// Feeds everything written to it straight into a Hasher.  Lets
+/// benchmark_content_hash stream write_benchmark instead of materializing
+/// a 1M-sink text image (~60 MB) just to hash it; Hasher::update is
+/// chunk-invariant, so the digest equals fnv1a128 of the full text.
+class HashingStreambuf : public std::streambuf {
+ public:
+  explicit HashingStreambuf(Hasher& hasher) : hasher_(hasher) {}
+
+ protected:
+  int overflow(int ch) override {
+    if (ch != traits_type::eof()) {
+      const char c = static_cast<char>(ch);
+      hasher_.update(&c, 1);
+    }
+    return ch;
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    hasher_.update(s, static_cast<std::size_t>(n));
+    return n;
+  }
+
+ private:
+  Hasher& hasher_;
+};
+
+}  // namespace
+
 Hash128 benchmark_content_hash(const Benchmark& bench) {
-  std::ostringstream text;
-  write_benchmark(bench, text);
-  return fnv1a128(text.str());
+  Hasher hasher;
+  HashingStreambuf buf(hasher);
+  std::ostream out(&buf);
+  write_benchmark(bench, out);
+  return hasher.digest();
 }
 
 }  // namespace contango

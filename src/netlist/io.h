@@ -65,7 +65,13 @@ class BenchmarkParseError : public std::runtime_error {
       : std::runtime_error(context + ":" + std::to_string(line) + ": " + message),
         line_(line) {}
 
-  /// 1-based line number the error was detected on.
+  /// Position-less variant for formats without line structure (the binary
+  /// `.cbench` reader names the offending section in `message` instead);
+  /// line() reports 0.
+  BenchmarkParseError(const std::string& context, const std::string& message)
+      : std::runtime_error(context + ": " + message), line_(0) {}
+
+  /// 1-based line number the error was detected on (0 for binary inputs).
   std::size_t line() const { return line_; }
 
  private:
@@ -81,18 +87,22 @@ class BenchmarkParseError : public std::runtime_error {
 ///         inconsistent benchmark (sink outside die, empty technology, ...)
 Benchmark read_benchmark(std::istream& in, const std::string& context = "<stream>");
 
-/// \brief Reads one benchmark from a `.bench` file on disk.
+/// \brief Reads one benchmark file on disk, dispatching on the extension:
+/// paths ending in `.cbench` load through the binary reader
+/// (netlist/binio.h), everything else parses as `.bench` text.
 /// \throws std::runtime_error when the file cannot be opened; otherwise as
-///         read_benchmark() with the path as error context
+///         read_benchmark() / read_cbench_file() with the path as context
 Benchmark read_benchmark_file(const std::string& path);
 
-/// \brief Lists the `.bench` files directly inside a directory.
+/// \brief Lists the `.bench` and `.cbench` files directly inside a
+/// directory (a directory may mix both formats).
 /// \return absolute-or-relative paths as given, sorted by filename so suite
 ///         order is stable across platforms and directory iteration orders
 /// \throws std::runtime_error when the directory cannot be read
 std::vector<std::string> list_benchmark_files(const std::string& dir);
 
-/// \brief Reads every `.bench` file in a directory (sorted by filename).
+/// \brief Reads every `.bench`/`.cbench` file in a directory (sorted by
+/// filename).
 /// \throws as read_benchmark_file(); an empty directory yields an empty
 ///         vector rather than an error
 std::vector<Benchmark> read_benchmark_dir(const std::string& dir);
@@ -109,14 +119,23 @@ void write_benchmark(const Benchmark& bench, std::ostream& out);
 /// \throws std::runtime_error when the file cannot be created
 void write_benchmark_file(const Benchmark& bench, const std::string& path);
 
+/// \brief Validates that `name` is a single plain token (non-empty, no
+/// whitespace, no `#`) — the only names both on-disk formats can carry.
+/// \param what noun used in the error message ("benchmark", "sink", ...)
+/// \throws std::invalid_argument otherwise
+void require_token_name(const std::string& name, const char* what);
+
 /// \brief Stable 128-bit content hash of a benchmark (util/hash.h).
 ///
-/// The digest is FNV-1a-128 over the canonical `.bench` serialization
-/// (write_benchmark), so it is platform-portable, identical for a
-/// generated scenario and its exported-then-reparsed file, and changes
-/// whenever any information content of the benchmark changes.  Suite
-/// reports carry it per run as `benchmark_hash`, and the service layer
-/// folds it into result-cache keys.
+/// The digest is FNV-1a-128 streamed over the canonical `.bench`
+/// serialization (write_benchmark) without materializing the text, so it
+/// is platform-portable, identical for a generated scenario and its
+/// exported-then-reparsed file — in either format, since `.cbench` stores
+/// the exact same doubles — and changes whenever any information content
+/// of the benchmark changes.  Suite reports carry it per run as
+/// `benchmark_hash`, and the service layer folds it into result-cache
+/// keys, which is why a binary submission hits the cache entry a text
+/// submission created.
 Hash128 benchmark_content_hash(const Benchmark& bench);
 
 }  // namespace contango

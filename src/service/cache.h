@@ -28,8 +28,11 @@ namespace contango {
 /// option that can change the report bytes.
 ///
 /// Covered: a version tag (bump it when the key schema changes), the
-/// canonical `.bench` serialization of every benchmark (length-prefixed,
-/// so list boundaries are unambiguous), the resolved pipeline spec, the
+/// benchmark_content_hash of every benchmark — a streamed FNV-1a over the
+/// canonical `.bench` bytes, so text and `.cbench` submissions of the
+/// same instance share an entry without materializing the text (the
+/// benchmark count is hashed first, so list boundaries are
+/// unambiguous) — the resolved pipeline spec, the
 /// Monte-Carlo configuration (trial count; sigmas/seed/skew-target only
 /// when trials > 0, since they are inert otherwise), and the
 /// result-affecting FlowOptions numerics (ladder, reserve, round caps,

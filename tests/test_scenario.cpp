@@ -10,12 +10,12 @@
 namespace contango {
 namespace {
 
-TEST(ScenarioRegistry, BuiltinHasTheSevenStockFamilies) {
+TEST(ScenarioRegistry, BuiltinHasTheEightStockFamilies) {
   const std::vector<std::string> names = ScenarioRegistry::builtin().names();
   const std::vector<std::string> expected = {"uniform",     "clustered",
                                              "ring",        "obstacle_dense",
                                              "high_fanout", "mixed_cap",
-                                             "huge"};
+                                             "huge",        "mega"};
   EXPECT_EQ(names, expected);
   for (const auto& family : ScenarioRegistry::builtin().families()) {
     EXPECT_FALSE(family.description.empty());
@@ -162,7 +162,8 @@ TEST(CollectWorkloads, EmptyDirectoryIsAnErrorNamingTheToken) {
   } catch (const std::invalid_argument& e) {
     const std::string what = e.what();
     EXPECT_NE(what.find(dir), std::string::npos) << what;
-    EXPECT_NE(what.find("no .bench files"), std::string::npos) << what;
+    EXPECT_NE(what.find("no .bench or .cbench files"), std::string::npos)
+        << what;
   }
 }
 

@@ -114,6 +114,129 @@ TEST(SpatialDifferential, IntervalIndexMatchesLinearScan) {
   EXPECT_GE(cases, 1000);
 }
 
+// The STR bulk build (sort once, partition stably) promises the *same
+// tree* as the legacy incremental build — compare every query answer, on
+// inputs engineered to hit duplicates, shared endpoints and the
+// degenerate-split guard.
+TEST(SpatialDifferential, StrBulkBuildMatchesIncrementalBuild) {
+  Rng rng(20260809);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(0, 60));
+    std::vector<Rect> rects;
+    for (int i = 0; i < n; ++i) {
+      rects.push_back(random_rect(rng, 12, rng.unit() < 0.3 ? 0 : 1));
+    }
+    // Heavy duplication: identical rects share every endpoint, which is
+    // exactly what trips the all-spanning / one-sided degenerate split.
+    if (n > 0) {
+      const int dups = static_cast<int>(rng.uniform_int(0, 5));
+      for (int d = 0; d < dups; ++d) {
+        rects.push_back(rects[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<long>(rects.size()) - 1))]);
+      }
+    }
+    const RectIntervalIndex bulk(rects, IndexBuild::kBulkStr);
+    const RectIntervalIndex incremental(rects, IndexBuild::kIncremental);
+    ASSERT_EQ(bulk.size(), incremental.size());
+
+    for (int q = 0; q < 30; ++q) {
+      const Rect query = Rect::around(
+          Point{random_coord(rng, rects, 12), random_coord(rng, rects, 12)},
+          Point{random_coord(rng, rects, 12), random_coord(rng, rects, 12)});
+      EXPECT_EQ(bulk.intersecting(query), incremental.intersecting(query))
+          << "trial " << trial << " query " << q;
+    }
+  }
+}
+
+// A single point interval set (all four coordinates equal across rects)
+// forces the degenerate guard on the very first node of both builds.
+TEST(SpatialDifferential, StrBulkBuildHandlesAllIdenticalRects) {
+  const std::vector<Rect> rects(17, Rect{3.0, 4.0, 3.0, 4.0});
+  const RectIntervalIndex bulk(rects, IndexBuild::kBulkStr);
+  const RectIntervalIndex incremental(rects, IndexBuild::kIncremental);
+  std::vector<std::size_t> all(rects.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  EXPECT_EQ(bulk.intersecting(Rect{0, 0, 10, 10}), all);
+  EXPECT_EQ(bulk.intersecting(Rect{0, 0, 10, 10}),
+            incremental.intersecting(Rect{0, 0, 10, 10}));
+  EXPECT_TRUE(bulk.intersecting(Rect{5, 5, 6, 6}).empty());
+}
+
+// The record-stride constructor (the zero-copy form the .cbench loader
+// feeds) must agree with the std::vector<Rect> constructor, including
+// with padding doubles between records.
+TEST(SpatialDifferential, IntervalIndexRecordViewMatchesVectorBuild) {
+  Rng rng(20260810);
+  std::vector<Rect> rects;
+  for (int i = 0; i < 25; ++i) rects.push_back(random_rect(rng, 15, 0));
+
+  for (const std::size_t stride : {std::size_t{4}, std::size_t{6}}) {
+    std::vector<double> flat(rects.size() * stride, -99.0);
+    for (std::size_t i = 0; i < rects.size(); ++i) {
+      flat[i * stride + 0] = rects[i].xlo;
+      flat[i * stride + 1] = rects[i].ylo;
+      flat[i * stride + 2] = rects[i].xhi;
+      flat[i * stride + 3] = rects[i].yhi;
+    }
+    const RectIntervalIndex from_records(flat.data(), rects.size(), stride);
+    const RectIntervalIndex from_vector(rects);
+    for (int q = 0; q < 40; ++q) {
+      const Rect query = Rect::around(
+          Point{random_coord(rng, rects, 15), random_coord(rng, rects, 15)},
+          Point{random_coord(rng, rects, 15), random_coord(rng, rects, 15)});
+      EXPECT_EQ(from_records.intersecting(query),
+                from_vector.intersecting(query));
+    }
+  }
+}
+
+// The PointNnGrid bulk constructor must answer exactly like the same
+// points insert()ed one by one (and both like a linear scan).
+TEST(SpatialDifferential, PointGridBulkBuildMatchesIncrementalInserts) {
+  Rng rng(20260811);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 200));
+    const std::size_t stride = rng.unit() < 0.5 ? 2 : 3;
+    std::vector<double> flat(static_cast<std::size_t>(n) * stride, -1.0);
+    std::vector<Point> points;
+    for (int i = 0; i < n; ++i) {
+      const Point p{static_cast<double>(rng.uniform_int(0, 100)),
+                    static_cast<double>(rng.uniform_int(0, 100))};
+      points.push_back(p);
+      flat[static_cast<std::size_t>(i) * stride + 0] = p.x;
+      flat[static_cast<std::size_t>(i) * stride + 1] = p.y;
+    }
+    const Rect bounds{0.0, 0.0, 100.0, 100.0};
+    const PointNnGrid bulk(bounds, flat.data(), static_cast<std::size_t>(n),
+                           stride);
+    PointNnGrid incremental(bounds, static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) incremental.insert(points[static_cast<std::size_t>(i)], i);
+
+    for (int q = 0; q < 50; ++q) {
+      const Point probe{static_cast<double>(rng.uniform_int(-5, 105)),
+                        static_cast<double>(rng.uniform_int(-5, 105))};
+      // Accept a pseudo-random subset so ties and filtering both exercise.
+      const int modulus = static_cast<int>(rng.uniform_int(1, 4));
+      const auto accept = [modulus](int id) { return id % modulus != 1; };
+      const int got_bulk = bulk.nearest(probe, accept);
+      const int got_incr = incremental.nearest(probe, accept);
+      int scan = -1;
+      double scan_d = 0.0;
+      for (int i = 0; i < n; ++i) {
+        if (!accept(i)) continue;
+        const double d = manhattan(points[static_cast<std::size_t>(i)], probe);
+        if (scan < 0 || d < scan_d) {
+          scan = i;
+          scan_d = d;
+        }
+      }
+      EXPECT_EQ(got_bulk, got_incr) << "trial " << trial << " query " << q;
+      EXPECT_EQ(got_bulk, scan) << "trial " << trial << " query " << q;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // ObstacleSet: every public query, force-index vs. force-scan.
 // ---------------------------------------------------------------------------
