@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
 namespace contango {
 
@@ -106,8 +108,78 @@ void fan_out_taps(const Stage& stage, const StageEvent& ev, Transition out_dir,
   }
 }
 
+/// Constraint half of the aggregation: per-domain skews, window and
+/// inter-domain bound violations.  A trivial block returns immediately, so
+/// legacy benchmarks pay nothing and their results stay bit-identical.
+/// Violations are evaluated at every (corner, transition) — a constraint
+/// holds only if it holds everywhere — while the reported per-domain skews
+/// use the nominal corner, mirroring `nominal_skew`.
+void aggregate_constraints(EvalResult& result, const Benchmark& bench) {
+  const TimingConstraints& cons = bench.constraints;
+  if (cons.trivial()) return;
+
+  const std::size_t num_domains = cons.num_domains();
+  constexpr Ps kInf = std::numeric_limits<Ps>::infinity();
+  result.domain_skews.assign(num_domains, 0.0);
+  std::vector<Ps> lo(num_domains), hi(num_domains);
+
+  for (std::size_t c = 0; c < result.corners.size(); ++c) {
+    const CornerTiming& corner = result.corners[c];
+    for (int t = 0; t < kNumTransitions; ++t) {
+      const std::vector<SinkTiming>& sinks =
+          corner.sinks[static_cast<std::size_t>(t)];
+      std::fill(lo.begin(), lo.end(), kInf);
+      std::fill(hi.begin(), hi.end(), -kInf);
+      Ps global_lo = kInf;
+      for (std::size_t s = 0; s < sinks.size(); ++s) {
+        if (!sinks[s].reached) continue;
+        const std::uint32_t d = cons.domain_of(s);
+        lo[d] = std::min(lo[d], sinks[s].latency);
+        hi[d] = std::max(hi[d], sinks[s].latency);
+        global_lo = std::min(global_lo, sinks[s].latency);
+      }
+      if (global_lo == kInf) continue;  // nothing reached in this combo
+
+      if (c == 0) {
+        for (std::size_t d = 0; d < num_domains; ++d) {
+          if (hi[d] >= lo[d]) {
+            result.domain_skews[d] =
+                std::max(result.domain_skews[d], hi[d] - lo[d]);
+          }
+        }
+      }
+
+      if (!cons.sink_windows.empty()) {
+        for (std::size_t s = 0; s < sinks.size(); ++s) {
+          if (!sinks[s].reached) continue;
+          const ArrivalWindow w = cons.window_of(s);
+          if (w.unbounded()) continue;
+          // Windows constrain the arrival relative to the earliest reached
+          // sink: shift-invariant, since synthesis moves insertion delay
+          // wholesale.
+          const Ps r = sinks[s].latency - global_lo;
+          const Ps v = std::max(w.lo - r, r - w.hi);
+          if (v > result.worst_window_violation) {
+            result.worst_window_violation = v;
+          }
+        }
+      }
+
+      for (const DomainBound& b : cons.domain_bounds) {
+        if (hi[b.a] < lo[b.a] || hi[b.b] < lo[b.b]) continue;  // empty domain
+        const Ps spread = std::max(hi[b.a] - lo[b.b], hi[b.b] - lo[b.a]);
+        const Ps v = spread - b.bound;
+        if (v > result.worst_domain_bound_violation) {
+          result.worst_domain_bound_violation = v;
+        }
+      }
+    }
+  }
+}
+
 /// Shared aggregation tail of a CNE pass: derived metrics (worst slew,
-/// reachability, skew, CLR) from the per-corner timings.
+/// reachability, skew, CLR, constraint violations) from the per-corner
+/// timings.
 void aggregate_corners(EvalResult& result, const Benchmark& bench) {
   for (const CornerTiming& corner : result.corners) {
     result.worst_slew = std::max(result.worst_slew, corner.max_slew);
@@ -129,6 +201,7 @@ void aggregate_corners(EvalResult& result, const Benchmark& bench) {
   } else {
     result.clr = result.nominal_skew;
   }
+  aggregate_constraints(result, bench);
 }
 
 /// @}

@@ -50,7 +50,31 @@ struct EvalResult {
   bool cap_violation = false;
   bool all_sinks_reached = true;
 
+  /// Constraint metrics (netlist/constraints.h), filled only when the
+  /// benchmark carries a non-trivial constraint block; all three stay at
+  /// their defaults otherwise, so the legacy result is bit-identical.
+  /// Per-domain skew `Tmax_d - Tmin_d` at the nominal corner, worst over
+  /// transitions (the per-domain analogue of `nominal_skew`).
+  std::vector<Ps> domain_skews;
+  /// Worst per-sink window violation over every (corner, transition):
+  /// max over sinks of `max(lo - r, r - hi, 0)` where `r` is the sink's
+  /// arrival relative to the earliest reached sink.  0 = all windows hold.
+  Ps worst_window_violation = 0.0;
+  /// Worst inter-domain bound violation over every (corner, transition):
+  /// max over bounds {a, b, B} of `max(Tmax_a - Tmin_b, Tmax_b - Tmin_a) - B`
+  /// clamped at 0.  0 = all bounds hold.
+  Ps worst_domain_bound_violation = 0.0;
+
   bool legal() const { return !slew_violation && !cap_violation && all_sinks_reached; }
+
+  /// Worst violation of the generalized constraint vector (0 when every
+  /// window and inter-domain bound holds — always 0 for trivial blocks).
+  Ps constraint_violation() const {
+    return worst_window_violation > worst_domain_bound_violation
+               ? worst_window_violation
+               : worst_domain_bound_violation;
+  }
+  bool constraints_met() const { return constraint_violation() <= 0.0; }
 };
 
 /// Options of the evaluation harness.

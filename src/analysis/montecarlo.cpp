@@ -145,6 +145,7 @@ McReport run_montecarlo(const Benchmark& bench, const ClockTree& tree,
   report.threads = options.threads <= 0 ? hardware_threads() : options.threads;
   report.model = model;
   report.skew_target = options.skew_target;
+  report.constrained = !bench.constraints.trivial();
 
   const StagedNetlist base = extract_stages(tree, bench, options.eval.extract);
   if (base.stages.empty()) {
@@ -217,13 +218,19 @@ McReport run_montecarlo(const Benchmark& bench, const ClockTree& tree,
       t.clr = eval.clr;
       t.max_latency = eval.max_latency;
       t.worst_slew = eval.worst_slew;
+      t.constraint_violation = eval.constraint_violation();
       t.legal = !eval.slew_violation && eval.all_sinks_reached;
       block.skew.add(t.skew);
       block.clr.add(t.clr);
       block.max_latency.add(t.max_latency);
       if (t.legal) {
         ++block.legal;
-        if (t.skew <= options.skew_target) ++block.pass;
+        // A trial passes only when the global target *and* every sink
+        // window / inter-domain bound hold (violation is identically 0
+        // for a trivial constraint block).
+        if (t.skew <= options.skew_target && t.constraint_violation <= 0.0) {
+          ++block.pass;
+        }
       }
     }
   });
@@ -297,6 +304,10 @@ std::string McReport::to_json(bool with_samples) const {
   w.kv("max_latency_ps", nominal.max_latency);
   w.kv("worst_slew_ps", nominal.worst_slew);
   w.kv("total_cap_ff", nominal.total_cap);
+  if (constrained) {
+    w.kv("worst_window_violation_ps", nominal.worst_window_violation);
+    w.kv("worst_domain_bound_violation_ps", nominal.worst_domain_bound_violation);
+  }
   w.kv("legal", nominal.legal());
   w.end_object();
   write_summary(w, "skew_ps", skew);
@@ -316,6 +327,7 @@ std::string McReport::to_json(bool with_samples) const {
       w.kv("clr_ps", t.clr);
       w.kv("max_latency_ps", t.max_latency);
       w.kv("worst_slew_ps", t.worst_slew);
+      if (constrained) w.kv("constraint_violation_ps", t.constraint_violation);
       w.kv("legal", t.legal);
       w.end_object();
     }

@@ -107,6 +107,9 @@ struct McTrial {
   Ps clr = 0.0;          ///< corner-to-corner latency range
   Ps max_latency = 0.0;  ///< nominal-corner max sink latency
   Ps worst_slew = 0.0;   ///< across all corners
+  /// Worst window / inter-domain bound violation (0 when the benchmark's
+  /// constraint block is trivial).
+  Ps constraint_violation = 0.0;
   bool legal = false;    ///< no slew violation, every sink reached
 };
 
@@ -116,7 +119,9 @@ struct McOptions {
   /// Worker threads; 0 picks hardware concurrency, 1 runs serially.
   /// Any value produces bit-identical reports.
   int threads = 1;
-  /// Yield target: a trial passes when skew <= skew_target and legal.
+  /// Yield target: a trial passes when skew <= skew_target, legal, and —
+  /// under a non-trivial constraint block — every sink window and
+  /// inter-domain bound holds.
   Ps skew_target = 10.0;
   /// Numerical options of the per-trial evaluation.  Note:
   /// Evaluator::evaluate_mc overrides this with the evaluator's own
@@ -139,7 +144,12 @@ struct McReport {
   MetricSummary clr;
   MetricSummary max_latency;
 
-  double yield = 0.0;           ///< fraction of trials legal with skew <= target
+  /// True when the benchmark carries a non-trivial constraint block; gates
+  /// the constraint fields in to_json() so legacy reports stay
+  /// byte-identical.
+  bool constrained = false;
+
+  double yield = 0.0;           ///< fraction of trials legal, skew <= target, constraints met
   double legal_fraction = 0.0;  ///< fraction of trials with no violation
   std::vector<McTrial> samples;
   double wall_seconds = 0.0;

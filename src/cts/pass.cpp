@@ -96,7 +96,14 @@ bool FlowContext::violation_ok(const EvalResult& candidate) const {
                        candidate.worst_slew <= current_.worst_slew + 1e-6;
   const bool cap_ok = !candidate.cap_violation ||
                       candidate.total_cap <= current_.total_cap + 1e-6;
-  return slew_ok && cap_ok;
+  // Generalized violation vector: under a non-trivial constraint block a
+  // candidate must keep every sink window and inter-domain bound no worse
+  // than the incumbent's.  Identically 0 <= 0 for trivial blocks, so the
+  // legacy gate is unchanged.
+  const bool constraints_ok =
+      candidate.constraints_met() ||
+      candidate.constraint_violation() <= current_.constraint_violation() + 1e-6;
+  return slew_ok && cap_ok && constraints_ok;
 }
 
 bool FlowContext::try_accept(ClockTree&& candidate, PassObjective objective) {
@@ -134,7 +141,11 @@ void FlowContext::refine(
   double scale = 1.0;
   int rejects = 0;
   for (int round = 0; round < max_rounds && rejects < 5; ++round) {
-    const EdgeSlacks slacks = compute_edge_slacks(tree, current_);
+    // Slacks against the benchmark's constraint block: per-domain extrema
+    // and window caps when non-trivial, Definition 1 otherwise.
+    SlackOptions slack_options;
+    slack_options.constraints = &bench.constraints;
+    const EdgeSlacks slacks = compute_edge_slacks(tree, current_, slack_options);
     // SaveSolution as an edit journal: the round edits the incumbent in
     // place; a rejected round rolls the journal back instead of restoring
     // a whole-tree copy.

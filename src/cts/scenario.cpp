@@ -6,6 +6,8 @@
 
 #include "netlist/generators.h"
 #include "netlist/io.h"
+#include "util/env.h"
+#include "util/rng.h"
 
 namespace contango {
 namespace {
@@ -42,6 +44,76 @@ int parse_exact_int(const std::string& text) {
   } catch (const std::exception&) {
     return -1;
   }
+}
+
+/// Attaches a deterministic multi-clock-domain constraint block: 2-4
+/// domains (CONTANGO_DOMAINS overrides the seed-derived count), sinks
+/// assigned by die quadrant so domains are spatially coherent — quadrant
+/// membership is pure comparisons, so the assignment is bit-portable —
+/// and a pairwise inter-domain skew bound per domain pair.
+void apply_multidomain_constraints(Benchmark& bench, std::uint64_t seed) {
+  Rng rng(seed ^ 0x646f6d61696e73ULL);  // "domains"
+  long num_domains = env_long_strict("CONTANGO_DOMAINS", 0);
+  if (num_domains < 0 || num_domains == 1 || num_domains > 64) {
+    throw std::invalid_argument(
+        "CONTANGO_DOMAINS must be 0 (seed-derived) or in [2, 64], got " +
+        std::to_string(num_domains));
+  }
+  if (num_domains == 0) num_domains = rng.uniform_int(2, 4);
+
+  TimingConstraints& cons = bench.constraints;
+  cons = TimingConstraints{};
+  for (long d = 0; d < num_domains; ++d) {
+    cons.domain_names.push_back("clk" + std::to_string(d));
+  }
+  const Um cx = 0.5 * (bench.die.xlo + bench.die.xhi);
+  const Um cy = 0.5 * (bench.die.ylo + bench.die.yhi);
+  cons.sink_domains.reserve(bench.sinks.size());
+  for (const Sink& s : bench.sinks) {
+    const int quadrant = (s.position.x >= cx ? 1 : 0) |
+                         (s.position.y >= cy ? 2 : 0);
+    cons.sink_domains.push_back(
+        static_cast<std::uint32_t>(quadrant % num_domains));
+  }
+  for (long a = 0; a < num_domains; ++a) {
+    for (long b = a + 1; b < num_domains; ++b) {
+      DomainBound bound;
+      bound.a = static_cast<std::uint32_t>(a);
+      bound.b = static_cast<std::uint32_t>(b);
+      bound.bound = rng.uniform(15.0, 45.0);
+      cons.domain_bounds.push_back(bound);
+    }
+  }
+  cons.normalize();
+}
+
+/// Attaches per-sink useful-skew arrival windows to a deterministic
+/// fraction of the sinks (CONTANGO_WINDOW_FRACTION, default 0.35): mostly
+/// one-sided "arrive within W of the earliest sink" caps, with a minority
+/// of two-sided windows that also demand a minimum relative arrival.
+void apply_useful_skew_windows(Benchmark& bench, std::uint64_t seed) {
+  Rng rng(seed ^ 0x77696e646f7773ULL);  // "windows"
+  const double fraction = env_double_strict("CONTANGO_WINDOW_FRACTION", 0.35);
+  if (!(fraction >= 0.0 && fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "CONTANGO_WINDOW_FRACTION must be in [0, 1], got " +
+        std::to_string(fraction));
+  }
+  TimingConstraints& cons = bench.constraints;
+  cons = TimingConstraints{};
+  cons.sink_windows.assign(bench.sinks.size(), ArrivalWindow{});
+  for (std::size_t i = 0; i < bench.sinks.size(); ++i) {
+    if (!rng.chance(fraction)) continue;
+    ArrivalWindow& w = cons.sink_windows[i];
+    if (rng.chance(0.3)) {
+      // Two-sided: the sink must lag the earliest arrival by at least lo.
+      w.lo = rng.uniform(1.0, 5.0);
+      w.hi = w.lo + rng.uniform(10.0, 30.0);
+    } else {
+      w.hi = rng.uniform(8.0, 30.0);
+    }
+  }
+  cons.normalize();
 }
 
 ScenarioRegistry build_builtin() {
@@ -125,6 +197,34 @@ ScenarioRegistry build_builtin() {
                   p.num_sinks = n;
                   p.seed = seed;
                   return generate_huge(p);
+                }});
+
+  registry.add({"multidomain",
+                "2-4 clock domains in die quadrants with pairwise "
+                "inter-domain skew bounds (CONTANGO_DOMAINS overrides)",
+                130,
+                [](std::uint64_t seed, int n) {
+                  IspdGenParams p = ispd_base(seed, n);
+                  p.num_clusters = 4;
+                  p.cluster_fraction = 0.7;
+                  p.num_obstacles = 20;
+                  Benchmark bench = generate_ispd_like(p);
+                  apply_multidomain_constraints(bench, seed);
+                  return bench;
+                }});
+
+  registry.add({"usefulskew",
+                "per-sink useful-skew arrival windows on a fraction of "
+                "sinks (CONTANGO_WINDOW_FRACTION overrides)",
+                110,
+                [](std::uint64_t seed, int n) {
+                  IspdGenParams p = ispd_base(seed, n);
+                  p.num_clusters = 0;
+                  p.cluster_fraction = 0.0;
+                  p.num_obstacles = 16;
+                  Benchmark bench = generate_ispd_like(p);
+                  apply_useful_skew_windows(bench, seed);
+                  return bench;
                 }});
 
   registry.add({"mega",

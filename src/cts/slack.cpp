@@ -1,6 +1,7 @@
 #include "cts/slack.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 
 namespace contango {
@@ -24,6 +25,63 @@ Extremes extremes(const std::vector<SinkTiming>& sinks) {
   return e;
 }
 
+/// Per-domain extremes of one (corner, transition) latency vector, plus
+/// the global earliest arrival (the window reference point Tref).
+struct DomainExtremes {
+  std::vector<Extremes> per_domain;
+  Ps global_lo = kInf;
+};
+
+DomainExtremes domain_extremes(const std::vector<SinkTiming>& sinks,
+                               const TimingConstraints& cons) {
+  DomainExtremes e;
+  e.per_domain.resize(cons.num_domains());
+  for (std::size_t s = 0; s < sinks.size(); ++s) {
+    if (!sinks[s].reached) continue;
+    Extremes& d = e.per_domain[cons.domain_of(s)];
+    d.lo = std::min(d.lo, sinks[s].latency);
+    d.hi = std::max(d.hi, sinks[s].latency);
+    e.global_lo = std::min(e.global_lo, sinks[s].latency);
+  }
+  return e;
+}
+
+/// Generalized Definition 1 for one sink under a non-trivial constraint
+/// block: slack against the sink's own domain extrema, its arrival
+/// window, and every inter-domain bound touching its domain.  Reduces to
+/// (ex.hi - T, T - ex.lo) when the block is trivial.
+void constrained_sink_slacks(std::size_t sink_index, Ps latency,
+                             const DomainExtremes& ex,
+                             const TimingConstraints& cons, Ps& slow,
+                             Ps& fast) {
+  const std::uint32_t d = cons.domain_of(sink_index);
+  const Extremes& own = ex.per_domain[d];
+  slow = std::min(slow, own.hi - latency);
+  fast = std::min(fast, latency - own.lo);
+  const ArrivalWindow w = cons.window_of(sink_index);
+  if (!w.unbounded()) {
+    const Ps r = latency - ex.global_lo;
+    if (w.hi < kInf) slow = std::min(slow, w.hi - r);
+    if (w.lo > -kInf) fast = std::min(fast, r - w.lo);
+  }
+  for (const DomainBound& b : cons.domain_bounds) {
+    std::uint32_t other;
+    if (b.a == d) {
+      other = b.b;
+    } else if (b.b == d) {
+      other = b.a;
+    } else {
+      continue;
+    }
+    const Extremes& o = ex.per_domain[other];
+    if (o.hi < o.lo) continue;  // no reached sinks in the other domain
+    // Slowing s stretches T(s) - Tmin_other; speeding it stretches
+    // Tmax_other - T(s).  Either spread is capped at b.bound.
+    slow = std::min(slow, b.bound - (latency - o.lo));
+    fast = std::min(fast, b.bound - (o.hi - latency));
+  }
+}
+
 }  // namespace
 
 EdgeSlacks compute_edge_slacks(const ClockTree& tree, const EvalResult& eval,
@@ -36,10 +94,25 @@ EdgeSlacks compute_edge_slacks(const ClockTree& tree, const EvalResult& eval,
       options.all_corners ? eval.corners.size() : std::min<std::size_t>(1, eval.corners.size());
 
   // Sink slacks: minimum over every constraining (corner, transition).
+  const TimingConstraints* cons = options.constraints;
+  const bool constrained = cons != nullptr && !cons->trivial();
   const std::vector<NodeId> topo = tree.topological_order();
   for (std::size_t c = 0; c < corners; ++c) {
     for (int t = 0; t < kNumTransitions; ++t) {
       const auto& sinks = eval.corners[c].sinks[static_cast<std::size_t>(t)];
+      if (constrained) {
+        const DomainExtremes ex = domain_extremes(sinks, *cons);
+        if (ex.global_lo >= kInf) continue;
+        for (NodeId id : topo) {
+          const TreeNode& n = tree.node(id);
+          if (!n.is_sink()) continue;
+          const std::size_t s = static_cast<std::size_t>(n.sink_index);
+          if (!sinks[s].reached) continue;
+          constrained_sink_slacks(s, sinks[s].latency, ex, *cons,
+                                  slacks.slow[id], slacks.fast[id]);
+        }
+        continue;
+      }
       const Extremes ex = extremes(sinks);
       if (ex.hi < ex.lo) continue;
       for (NodeId id : topo) {

@@ -16,6 +16,14 @@ namespace contango {
 /// Rise and fall transitions and every supply corner are handled
 /// separately; an edge's usable slack is the minimum across all of them
 /// (section III-B, multicorner handling).
+///
+/// With a non-trivial TimingConstraints block the definition generalizes:
+/// Tmax/Tmin become the extrema of the sink's own domain, a bounded
+/// arrival window [lo, hi] further caps how far the relative arrival
+/// r(s) = T(s) - Tref (Tref = earliest reached sink) may drift, and each
+/// inter-domain bound {a, b, B} caps movement against the opposite
+/// domain's extrema.  Every term reduces to Definition 1 when the block
+/// is trivial, and windowed slacks may be negative for violating sinks.
 struct EdgeSlacks {
   /// Indexed by tree NodeId (the edge above that node).  Nodes without
   /// downstream sinks (tombstones) carry +inf.
@@ -31,6 +39,9 @@ struct EdgeSlacks {
 /// Which (corner, transition) combinations constrain the slack.
 struct SlackOptions {
   bool all_corners = true;  ///< false = nominal corner only
+  /// Optional timing-constraint block.  nullptr (or a trivial block)
+  /// reproduces the legacy global-skew slacks bit-for-bit.
+  const TimingConstraints* constraints = nullptr;
 };
 
 /// Computes sink and edge slacks from one evaluation result.

@@ -1,5 +1,6 @@
 #include "cts/suite.h"
 
+#include <algorithm>
 #include <ctime>
 #include <exception>
 #include <mutex>
@@ -79,12 +80,21 @@ bool SuiteReport::all_ok() const {
 
 std::string SuiteReport::table() const {
   bool any_mc = false;
-  for (const SuiteRun& r : runs) any_mc = any_mc || r.has_mc;
+  bool any_cons = false;
+  for (const SuiteRun& r : runs) {
+    any_mc = any_mc || r.has_mc;
+    // domain_skews is filled exactly when the benchmark carried a
+    // non-trivial constraint block; legacy suites keep the legacy table.
+    any_cons = any_cons || !r.result.eval.domain_skews.empty();
+  }
 
   std::vector<std::string> headers = {"Benchmark", "Sinks",       "Blk%",
                                       "CLR, ps",   "Skew, ps",    "Latency, ps",
                                       "Cap, pF",   "Sims",        "Batched",
                                       "CPU, s"};
+  if (any_cons) {
+    headers.insert(headers.end(), {"Dom skew", "Cons viol"});
+  }
   if (any_mc) {
     headers.insert(headers.end(),
                    {"MC skew u", "MC p95", "MC p99", "MC CLR p95", "Yield%"});
@@ -107,6 +117,19 @@ std::string SuiteReport::table() const {
                                     std::to_string(r.result.sim_runs),
                                     std::to_string(batched),
                                     TextTable::num(r.seconds, 1)};
+    if (any_cons) {
+      if (r.result.eval.domain_skews.empty()) {
+        row.insert(row.end(), {"-", "-"});
+      } else {
+        double worst_domain_skew = 0.0;
+        for (const Ps s : r.result.eval.domain_skews) {
+          worst_domain_skew = std::max(worst_domain_skew, s);
+        }
+        row.insert(row.end(),
+                   {TextTable::num(worst_domain_skew, 3),
+                    TextTable::num(r.result.eval.constraint_violation(), 3)});
+      }
+    }
     if (r.has_mc) {
       row.insert(row.end(), {TextTable::num(r.mc.skew.mean, 3),
                              TextTable::num(r.mc.skew.p95, 3),
@@ -163,6 +186,19 @@ std::string SuiteReport::to_json() const {
     w.kv("worst_slew_ps", r.result.eval.worst_slew);
     w.kv("total_cap_ff", r.result.eval.total_cap);
     w.kv("legal", r.result.eval.legal());
+    // Constraint metrics appear only for runs whose benchmark carried a
+    // non-trivial TimingConstraints block, keeping legacy reports
+    // byte-identical.
+    if (!r.result.eval.domain_skews.empty()) {
+      w.key("domain_skews_ps");
+      w.begin_array();
+      for (const Ps s : r.result.eval.domain_skews) w.value(s);
+      w.end_array();
+      w.kv("worst_window_violation_ps", r.result.eval.worst_window_violation);
+      w.kv("worst_domain_bound_violation_ps",
+           r.result.eval.worst_domain_bound_violation);
+      w.kv("constraints_met", r.result.eval.constraints_met());
+    }
     w.kv("pipeline_spec", r.result.pipeline_spec);
     // Per-pass cost accounting: where this run's wall/CPU time and
     // simulation budget went (ablation sweeps diff these blocks).
@@ -340,6 +376,7 @@ std::vector<std::string> unknown_contango_env_vars() {
   static const char* const kKnown[] = {
       "CONTANGO_ABLATION_BENCHMARK",
       "CONTANGO_BATCH",
+      "CONTANGO_DOMAINS",
       "CONTANGO_FIG3_BENCHMARK",
       "CONTANGO_INCREMENTAL",
       "CONTANGO_JSON_OUT",
@@ -360,6 +397,7 @@ std::vector<std::string> unknown_contango_env_vars() {
       "CONTANGO_TABLE3_BENCHMARKS",
       "CONTANGO_TABLE4_BENCHMARKS",
       "CONTANGO_THREADS",
+      "CONTANGO_WINDOW_FRACTION",
       "CONTANGO_WORKLOADS",
   };
   const std::string prefix = "CONTANGO_";
@@ -401,6 +439,12 @@ SuiteOptions suite_options_from_env(SuiteOptions base) {
   env_long_strict("CONTANGO_SPATIAL", 1);
   // Same story for CONTANGO_MMAP, consumed in io/mmap.h at file open.
   env_long_strict("CONTANGO_MMAP", 1);
+  // CONTANGO_DOMAINS / CONTANGO_WINDOW_FRACTION parameterize the
+  // multidomain / usefulskew scenario factories (cts/scenario.cpp), which
+  // read and range-check them at generation; the strict reads here reject
+  // malformed values up front, naming the variable.
+  env_long_strict("CONTANGO_DOMAINS", 0);
+  env_double_strict("CONTANGO_WINDOW_FRACTION", 0.35);
   base.mc_trials =
       static_cast<int>(env_long_strict("CONTANGO_MC_TRIALS", base.mc_trials));
   if (base.mc_trials < 0) {

@@ -225,6 +225,14 @@ SuiteReport run_suite_spec(const std::string& spec, std::uint64_t seed,
 ///                               default 1, results are bit-identical
 ///                               either way; read by io/mmap.h at file
 ///                               open, validated here)
+///   CONTANGO_DOMAINS         -> domain count of the `multidomain`
+///                               scenario family (0 = seed-derived 2-4;
+///                               consumed in cts/scenario.cpp, validated
+///                               here)
+///   CONTANGO_WINDOW_FRACTION -> fraction of sinks given arrival windows
+///                               by the `usefulskew` family (default 0.35;
+///                               consumed in cts/scenario.cpp, validated
+///                               here)
 ///   CONTANGO_MC_TRIALS       -> mc_trials (0 keeps MC off)
 ///   CONTANGO_MC_SIGMA_VDD    -> variation.sigma_vdd (default 0.05)
 ///   CONTANGO_MC_SEED         -> variation.seed

@@ -35,6 +35,8 @@ void validate(const Benchmark& bench) {
                                   "': invalid obstacle rect");
     }
   }
+  validate_constraints(bench.constraints, bench.sinks.size(),
+                       "benchmark '" + bench.name + "'");
 }
 
 }  // namespace contango

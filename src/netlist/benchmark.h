@@ -6,6 +6,7 @@
 #include "geom/obstacle_set.h"
 #include "geom/point.h"
 #include "geom/rect.h"
+#include "netlist/constraints.h"
 #include "netlist/library.h"
 
 namespace contango {
@@ -30,6 +31,11 @@ struct Benchmark {
   std::vector<Sink> sinks;
   std::vector<Rect> obstacle_rects;  ///< raw blockages (may abut/overlap)
   Technology tech;
+
+  /// Clock domains, inter-domain skew bounds and per-sink useful-skew
+  /// windows.  The default block is trivial: the exact legacy single-domain
+  /// unbounded model (see constraints.h).
+  TimingConstraints constraints;
 
   /// Obstacle set built once on demand (grouping + contours are O(n log n)
   /// and the benchmark is immutable during synthesis).

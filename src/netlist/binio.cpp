@@ -1,6 +1,7 @@
 #include "netlist/binio.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
@@ -15,23 +16,37 @@ namespace {
 
 /// Fixed write order of the sections (the format allows any file order;
 /// the writer streams SCALARS last so streaming producers can derive
-/// cap_limit from the sinks they already emitted).
-constexpr std::uint32_t kWriteOrder[kCbenchSectionCount] = {
+/// cap_limit from the sinks they already emitted).  The version-2 order
+/// inserts the constraint sections between OBSTACLES and NAMES.
+constexpr std::uint32_t kWriteOrderV1[kCbenchSectionCount] = {
     kCbenchCorners, kCbenchWires,     kCbenchInverters, kCbenchSinks,
     kCbenchObstacles, kCbenchNames,   kCbenchScalars,
 };
+constexpr std::uint32_t kWriteOrderV2[kCbenchSectionCountV2] = {
+    kCbenchCorners,     kCbenchWires,       kCbenchInverters,
+    kCbenchSinks,       kCbenchObstacles,   kCbenchSinkDomains,
+    kCbenchSinkWindows, kCbenchDomainBounds, kCbenchDomainNames,
+    kCbenchNames,       kCbenchScalars,
+};
 
-/// Bytes per record for the fixed-stride sections; 0 = variable (NAMES)
-/// or whole-section (SCALARS handled separately).
+const std::uint32_t* write_order(std::uint32_t version) {
+  return version >= kCbenchVersion2 ? kWriteOrderV2 : kWriteOrderV1;
+}
+
+/// Bytes per record for the fixed-stride sections; 0 = variable (NAMES,
+/// DOMAIN_NAMES) or whole-section (SCALARS handled separately).
 std::size_t section_stride_bytes(std::uint32_t id) {
   switch (id) {
-    case kCbenchScalars:   return sizeof(double);
-    case kCbenchCorners:   return sizeof(double);
-    case kCbenchWires:     return 2 * sizeof(double);
-    case kCbenchInverters: return 4 * sizeof(double);
-    case kCbenchSinks:     return 3 * sizeof(double);
-    case kCbenchObstacles: return 4 * sizeof(double);
-    default:               return 0;
+    case kCbenchScalars:      return sizeof(double);
+    case kCbenchCorners:      return sizeof(double);
+    case kCbenchWires:        return 2 * sizeof(double);
+    case kCbenchInverters:    return 4 * sizeof(double);
+    case kCbenchSinks:        return 3 * sizeof(double);
+    case kCbenchObstacles:    return 4 * sizeof(double);
+    case kCbenchSinkDomains:  return sizeof(double);
+    case kCbenchSinkWindows:  return 2 * sizeof(double);
+    case kCbenchDomainBounds: return 3 * sizeof(double);
+    default:                  return 0;
   }
 }
 
@@ -87,29 +102,39 @@ std::string hex64(std::uint64_t v) {
 
 const char* cbench_section_name(std::uint32_t id) {
   switch (id) {
-    case kCbenchScalars:   return "SCALARS";
-    case kCbenchCorners:   return "CORNERS";
-    case kCbenchWires:     return "WIRES";
-    case kCbenchInverters: return "INVERTERS";
-    case kCbenchSinks:     return "SINKS";
-    case kCbenchObstacles: return "OBSTACLES";
-    case kCbenchNames:     return "NAMES";
-    default:               return "?";
+    case kCbenchScalars:      return "SCALARS";
+    case kCbenchCorners:      return "CORNERS";
+    case kCbenchWires:        return "WIRES";
+    case kCbenchInverters:    return "INVERTERS";
+    case kCbenchSinks:        return "SINKS";
+    case kCbenchObstacles:    return "OBSTACLES";
+    case kCbenchNames:        return "NAMES";
+    case kCbenchSinkDomains:  return "SINK_DOMAINS";
+    case kCbenchSinkWindows:  return "SINK_WINDOWS";
+    case kCbenchDomainBounds: return "DOMAIN_BOUNDS";
+    case kCbenchDomainNames:  return "DOMAIN_NAMES";
+    default:                  return "?";
   }
 }
 
 // ---------------------------------------------------------------------------
 // CbenchWriter
 
-CbenchWriter::CbenchWriter(std::ostream& out) : out_(out) {
+CbenchWriter::CbenchWriter(std::ostream& out, std::uint32_t version)
+    : out_(out), version_(version) {
+  if (version_ != kCbenchVersion && version_ != kCbenchVersion2) {
+    throw std::invalid_argument("CbenchWriter: unsupported format version " +
+                                std::to_string(version_));
+  }
   start_ = out_.tellp();
   if (start_ == std::ostream::pos_type(-1)) {
     throw std::runtime_error("CbenchWriter: output stream is not seekable");
   }
+  table_.assign(cbench_section_count(version_), TableEntry{});
   // Placeholder header + table, patched by finish().
-  const std::vector<char> zeros(kCbenchHeaderBytes, 0);
+  const std::vector<char> zeros(cbench_header_bytes(version_), 0);
   out_.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
-  cursor_ = kCbenchHeaderBytes;
+  cursor_ = cbench_header_bytes(version_);
 }
 
 void CbenchWriter::raw(const void* data, std::size_t size) {
@@ -138,16 +163,20 @@ void CbenchWriter::put_double(double v) {
 }
 
 void CbenchWriter::begin_section(std::uint32_t id) {
+  const std::uint32_t* order = write_order(version_);
+  const int num_sections = static_cast<int>(cbench_section_count(version_));
   const int expected_stage = [&] {
-    for (int i = 0; i < static_cast<int>(kCbenchSectionCount); ++i) {
-      if (kWriteOrder[i] == id) return i;
+    for (int i = 0; i < num_sections; ++i) {
+      if (order[i] == id) return i;
     }
     return -1;
   }();
-  if (stage_ != expected_stage || open_id_ != 0 || finished_) {
+  if (expected_stage < 0 || stage_ != expected_stage || open_id_ != 0 ||
+      finished_) {
     throw std::logic_error(
         "CbenchWriter: sections must be written exactly once, in the order "
-        "corners, wires, inverters, sinks, obstacles, names, scalars");
+        "corners, wires, inverters, sinks, obstacles, [constraints,] names, "
+        "scalars");
   }
   // Zero-pad to the next 8-byte boundary; padding belongs to no section.
   static const char pad[8] = {0};
@@ -234,6 +263,58 @@ void CbenchWriter::write_obstacles(const std::vector<Rect>& obstacles) {
   end_section(obstacles.size());
 }
 
+void CbenchWriter::write_string_table(std::uint32_t id,
+                                      const std::vector<std::string>& strings) {
+  begin_section(id);
+  for (const std::string& s : strings) {
+    require_token_name(s, "cbench");
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  end_section(strings.size());
+}
+
+void CbenchWriter::write_constraints(const TimingConstraints& constraints) {
+  if (version_ < kCbenchVersion2) {
+    throw std::logic_error(
+        "CbenchWriter: constraint sections need a version-2 writer");
+  }
+  const std::uint64_t sinks = table_[kCbenchSinks - 1].count;
+  if (!constraints.sink_domains.empty() &&
+      constraints.sink_domains.size() != sinks) {
+    throw std::invalid_argument(
+        "CbenchWriter: sink domain list does not match sink count");
+  }
+  if (!constraints.sink_windows.empty() &&
+      constraints.sink_windows.size() != sinks) {
+    throw std::invalid_argument(
+        "CbenchWriter: sink window list does not match sink count");
+  }
+
+  begin_section(kCbenchSinkDomains);
+  for (std::uint32_t d : constraints.sink_domains) {
+    put_double(static_cast<double>(d));
+  }
+  end_section(constraints.sink_domains.size());
+
+  begin_section(kCbenchSinkWindows);
+  for (const ArrivalWindow& w : constraints.sink_windows) {
+    put_double(w.lo);
+    put_double(w.hi);
+  }
+  end_section(constraints.sink_windows.size());
+
+  begin_section(kCbenchDomainBounds);
+  for (const DomainBound& b : constraints.domain_bounds) {
+    put_double(static_cast<double>(b.a));
+    put_double(static_cast<double>(b.b));
+    put_double(b.bound);
+  }
+  end_section(constraints.domain_bounds.size());
+
+  write_string_table(kCbenchDomainNames, constraints.domain_names);
+}
+
 void CbenchWriter::begin_names() {
   begin_section(kCbenchNames);
   // benchmark name + one name per wire, inverter and sink.
@@ -288,19 +369,19 @@ void CbenchWriter::write_scalars(const Rect& die, const Point& source,
 }
 
 void CbenchWriter::finish() {
-  if (stage_ != static_cast<int>(kCbenchSectionCount) || open_id_ != 0 ||
-      finished_) {
+  const std::uint32_t num_sections = cbench_section_count(version_);
+  if (stage_ != static_cast<int>(num_sections) || open_id_ != 0 || finished_) {
     throw std::logic_error("CbenchWriter: finish before all sections written");
   }
   finished_ = true;
 
-  unsigned char header[kCbenchHeaderBytes];
-  std::memcpy(header, kCbenchMagic, sizeof(kCbenchMagic));
-  encode_u32(kCbenchVersion, header + 8);
-  encode_u32(kCbenchSectionCount, header + 12);
-  encode_u64(cursor_, header + 16);
-  for (std::uint32_t id = 1; id <= kCbenchSectionCount; ++id) {
-    unsigned char* entry = header + 24 + (id - 1) * 40;
+  std::vector<unsigned char> header(cbench_header_bytes(version_), 0);
+  std::memcpy(header.data(), kCbenchMagic, sizeof(kCbenchMagic));
+  encode_u32(version_, header.data() + 8);
+  encode_u32(num_sections, header.data() + 12);
+  encode_u64(cursor_, header.data() + 16);
+  for (std::uint32_t id = 1; id <= num_sections; ++id) {
+    unsigned char* entry = header.data() + 24 + (id - 1) * 40;
     const TableEntry& t = table_[id - 1];
     encode_u32(id, entry);
     encode_u32(0, entry + 4);  // reserved
@@ -310,7 +391,8 @@ void CbenchWriter::finish() {
     encode_u64(t.checksum, entry + 32);
   }
   out_.seekp(start_);
-  out_.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out_.write(reinterpret_cast<const char*>(header.data()),
+             static_cast<std::streamsize>(header.size()));
   out_.seekp(start_ + static_cast<std::ostream::off_type>(cursor_));
   if (!out_) throw std::runtime_error("CbenchWriter: write failed");
 }
@@ -324,8 +406,16 @@ void write_cbench(const Benchmark& bench, std::ostream& out) {
     require_token_name(inv.name, "inverter");
   }
   for (const Sink& s : bench.sinks) require_token_name(s.name, "sink");
+  for (const std::string& d : bench.constraints.domain_names) {
+    require_token_name(d, "domain");
+  }
 
-  CbenchWriter writer(out);
+  // Trivial constraint blocks keep the exact legacy version-1 bytes (and
+  // therefore the legacy file hashes); only real constraints pay for the
+  // version-2 sections.
+  const std::uint32_t version =
+      bench.constraints.trivial() ? kCbenchVersion : kCbenchVersion2;
+  CbenchWriter writer(out, version);
   writer.write_corners(bench.tech.corners);
   writer.write_wires(bench.tech.wires);
   writer.write_inverters(bench.tech.inverters);
@@ -335,6 +425,7 @@ void write_cbench(const Benchmark& bench, std::ostream& out) {
   }
   writer.end_sinks();
   writer.write_obstacles(bench.obstacle_rects);
+  if (version >= kCbenchVersion2) writer.write_constraints(bench.constraints);
   writer.begin_names();
   writer.add_name(bench.name);
   for (const WireType& w : bench.tech.wires) writer.add_name(w.name);
@@ -388,25 +479,34 @@ void MappedBenchmark::validate_and_index() {
 
   const unsigned char* base = file_.data();
   const std::uint64_t size = file_.size();
+  // Every valid file is at least a version-1 header + table; version-2
+  // files re-check against their larger header below.
   if (size < kCbenchHeaderBytes) {
     fail("truncated header: file is " + std::to_string(size) +
-         " bytes, the header and section table need " +
+         " bytes, the header and section table need at least " +
          std::to_string(kCbenchHeaderBytes));
   }
   if (std::memcmp(base, kCbenchMagic, sizeof(kCbenchMagic)) != 0) {
     fail("bad magic: not a .cbench file");
   }
   version_ = decode_u32(base + 8);
-  if (version_ != kCbenchVersion) {
+  if (version_ != kCbenchVersion && version_ != kCbenchVersion2) {
     fail("unsupported format version " + std::to_string(version_) +
-         " (this reader supports version " + std::to_string(kCbenchVersion) +
-         ")");
+         " (this reader supports versions " + std::to_string(kCbenchVersion) +
+         ".." + std::to_string(kCbenchVersion2) + ")");
+  }
+  const std::uint32_t num_sections = cbench_section_count(version_);
+  const std::uint64_t header_bytes = cbench_header_bytes(version_);
+  if (size < header_bytes) {
+    fail("truncated header: file is " + std::to_string(size) +
+         " bytes, the header and section table need " +
+         std::to_string(header_bytes));
   }
   const std::uint32_t section_count = decode_u32(base + 12);
-  if (section_count != kCbenchSectionCount) {
+  if (section_count != num_sections) {
     fail("bad section count " + std::to_string(section_count) + " (version " +
-         std::to_string(kCbenchVersion) + " files have " +
-         std::to_string(kCbenchSectionCount) + " sections)");
+         std::to_string(version_) + " files have " +
+         std::to_string(num_sections) + " sections)");
   }
   const std::uint64_t declared_size = decode_u64(base + 16);
   if (declared_size != size) {
@@ -415,12 +515,12 @@ void MappedBenchmark::validate_and_index() {
          " (truncated or padded file)");
   }
 
-  sections_.assign(kCbenchSectionCount, SectionInfo{});
-  bool seen[kCbenchSectionCount] = {};
-  for (std::uint32_t e = 0; e < kCbenchSectionCount; ++e) {
+  sections_.assign(num_sections, SectionInfo{});
+  std::vector<bool> seen(num_sections, false);
+  for (std::uint32_t e = 0; e < num_sections; ++e) {
     const unsigned char* entry = base + 24 + e * 40;
     const std::uint32_t id = decode_u32(entry);
-    if (id < 1 || id > kCbenchSectionCount) {
+    if (id < 1 || id > num_sections) {
       fail("section table entry " + std::to_string(e) +
            ": unknown section id " + std::to_string(id));
     }
@@ -446,7 +546,7 @@ void MappedBenchmark::validate_and_index() {
       fail_section(info.id, "offset " + std::to_string(info.offset) +
                                 " is not 8-byte aligned");
     }
-    if (info.offset < kCbenchHeaderBytes) {
+    if (info.offset < header_bytes) {
       fail_section(info.id, "offset " + std::to_string(info.offset) +
                                 " overlaps the header");
     }
@@ -482,9 +582,13 @@ void MappedBenchmark::validate_and_index() {
   std::vector<const SectionInfo*> by_offset;
   by_offset.reserve(sections_.size());
   for (const SectionInfo& info : sections_) by_offset.push_back(&info);
+  // Empty sections legitimately share their offset with the section that
+  // follows them, so ties sort by size: a zero-byte section occupies no
+  // bytes and must come before a non-empty section at the same offset.
   std::sort(by_offset.begin(), by_offset.end(),
             [](const SectionInfo* a, const SectionInfo* b) {
-              return a->offset < b->offset;
+              if (a->offset != b->offset) return a->offset < b->offset;
+              return a->byte_size < b->byte_size;
             });
   for (std::size_t i = 1; i < by_offset.size(); ++i) {
     const SectionInfo* prev = by_offset[i - 1];
@@ -506,8 +610,45 @@ void MappedBenchmark::validate_and_index() {
     }
   }
 
-  // Walk the name table once: validates every length prefix and token and
-  // leaves an offset index behind for O(1) name lookup.
+  // Walks a string-table section (NAMES, DOMAIN_NAMES): validates every
+  // length prefix and token and leaves an offset index behind for O(1)
+  // name lookup.
+  auto walk_string_table = [&](const SectionInfo& info,
+                               std::vector<std::uint64_t>& offsets) {
+    offsets.clear();
+    offsets.reserve(static_cast<std::size_t>(info.count));
+    const unsigned char* nbase = base + info.offset;
+    std::uint64_t pos = 0;
+    for (std::uint64_t i = 0; i < info.count; ++i) {
+      if (info.byte_size - pos < 4) {
+        fail_section(info.id,
+                     "name table truncated at entry " + std::to_string(i));
+      }
+      const std::uint32_t len = decode_u32(nbase + pos);
+      if (len == 0) {
+        fail_section(info.id, "empty name at entry " + std::to_string(i));
+      }
+      if (len > info.byte_size - pos - 4) {
+        fail_section(info.id, "name length " + std::to_string(len) +
+                                  " at entry " + std::to_string(i) +
+                                  " runs past the section end");
+      }
+      for (std::uint32_t b = 0; b < len; ++b) {
+        const unsigned char c = nbase[pos + 4 + b];
+        if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '#') {
+          fail_section(info.id,
+                       "name at entry " + std::to_string(i) +
+                           " is not a plain token (whitespace or '#')");
+        }
+      }
+      offsets.push_back(pos);
+      pos += 4 + len;
+    }
+    if (pos != info.byte_size) {
+      fail_section(info.id, "trailing bytes after the last name");
+    }
+  };
+
   const SectionInfo& names = section(kCbenchNames);
   const std::uint64_t expected_names = 1 + section(kCbenchWires).count +
                                        section(kCbenchInverters).count +
@@ -518,37 +659,73 @@ void MappedBenchmark::validate_and_index() {
                      " does not match 1 + wires + inverters + sinks = " +
                      std::to_string(expected_names));
   }
-  name_offsets_.clear();
-  name_offsets_.reserve(static_cast<std::size_t>(expected_names));
-  const unsigned char* nbase = base + names.offset;
-  std::uint64_t pos = 0;
-  for (std::uint64_t i = 0; i < expected_names; ++i) {
-    if (names.byte_size - pos < 4) {
-      fail_section(kCbenchNames,
-                   "name table truncated at entry " + std::to_string(i));
+  walk_string_table(names, name_offsets_);
+
+  if (version_ >= kCbenchVersion2) {
+    walk_string_table(section(kCbenchDomainNames), domain_name_offsets_);
+
+    // Constraint record semantics: per-sink sections are empty (all
+    // default) or full, domain indices are integral and in range, windows
+    // are non-empty intervals, bounds finite.  Every violation names the
+    // section, so corrupted constraint sections cannot reach synthesis.
+    const std::uint64_t num_sinks = section(kCbenchSinks).count;
+    const std::uint64_t num_domains =
+        std::max<std::uint64_t>(1, section(kCbenchDomainNames).count);
+
+    auto check_domain_value = [&](std::uint32_t id, double v) {
+      if (!(v >= 0.0) || v != std::floor(v) ||
+          v >= static_cast<double>(num_domains)) {
+        fail_section(id, "domain index " + std::to_string(v) +
+                             " is not an integer in [0, " +
+                             std::to_string(num_domains) + ")");
+      }
+    };
+
+    const SectionInfo& sink_domains = section(kCbenchSinkDomains);
+    if (sink_domains.count != 0 && sink_domains.count != num_sinks) {
+      fail_section(kCbenchSinkDomains,
+                   "count " + std::to_string(sink_domains.count) +
+                       " must be 0 or the sink count " +
+                       std::to_string(num_sinks));
     }
-    const std::uint32_t len = decode_u32(nbase + pos);
-    if (len == 0) {
-      fail_section(kCbenchNames, "empty name at entry " + std::to_string(i));
+    const double* domain_values =
+        reinterpret_cast<const double*>(base + sink_domains.offset);
+    for (std::uint64_t i = 0; i < sink_domains.count; ++i) {
+      check_domain_value(kCbenchSinkDomains, domain_values[i]);
     }
-    if (len > names.byte_size - pos - 4) {
-      fail_section(kCbenchNames, "name length " + std::to_string(len) +
-                                     " at entry " + std::to_string(i) +
-                                     " runs past the section end");
+
+    const SectionInfo& sink_windows = section(kCbenchSinkWindows);
+    if (sink_windows.count != 0 && sink_windows.count != num_sinks) {
+      fail_section(kCbenchSinkWindows,
+                   "count " + std::to_string(sink_windows.count) +
+                       " must be 0 or the sink count " +
+                       std::to_string(num_sinks));
     }
-    for (std::uint32_t b = 0; b < len; ++b) {
-      const unsigned char c = nbase[pos + 4 + b];
-      if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '#') {
-        fail_section(kCbenchNames,
-                     "name at entry " + std::to_string(i) +
-                         " is not a plain token (whitespace or '#')");
+    const double* window_values =
+        reinterpret_cast<const double*>(base + sink_windows.offset);
+    for (std::uint64_t i = 0; i < sink_windows.count; ++i) {
+      const double lo = window_values[2 * i];
+      const double hi = window_values[2 * i + 1];
+      if (std::isnan(lo) || std::isnan(hi) || lo > hi) {
+        fail_section(kCbenchSinkWindows,
+                     "window " + std::to_string(i) + " is malformed (NaN or "
+                     "lo > hi)");
       }
     }
-    name_offsets_.push_back(pos);
-    pos += 4 + len;
-  }
-  if (pos != names.byte_size) {
-    fail_section(kCbenchNames, "trailing bytes after the last name");
+
+    const SectionInfo& domain_bounds = section(kCbenchDomainBounds);
+    const double* bound_values =
+        reinterpret_cast<const double*>(base + domain_bounds.offset);
+    for (std::uint64_t i = 0; i < domain_bounds.count; ++i) {
+      check_domain_value(kCbenchDomainBounds, bound_values[3 * i]);
+      check_domain_value(kCbenchDomainBounds, bound_values[3 * i + 1]);
+      const double bound = bound_values[3 * i + 2];
+      if (!std::isfinite(bound) || bound < 0.0) {
+        fail_section(kCbenchDomainBounds,
+                     "bound " + std::to_string(i) +
+                         " must be finite and non-negative");
+      }
+    }
   }
 }
 
@@ -578,6 +755,65 @@ DoubleRecordsView MappedBenchmark::sink_records() const {
 
 DoubleRecordsView MappedBenchmark::obstacle_records() const {
   return {section_doubles(kCbenchObstacles), num_obstacles(), 4};
+}
+
+std::string_view MappedBenchmark::domain_name(std::size_t index) const {
+  const SectionInfo& names = section(kCbenchDomainNames);
+  const unsigned char* nbase = file_.data() + names.offset;
+  const std::uint64_t off = domain_name_offsets_[index];
+  const std::uint32_t len = decode_u32(nbase + off);
+  return std::string_view(reinterpret_cast<const char*>(nbase + off + 4), len);
+}
+
+DoubleRecordsView MappedBenchmark::sink_domain_records() const {
+  if (!has_constraint_sections()) return {};
+  return {section_doubles(kCbenchSinkDomains), count(kCbenchSinkDomains), 1};
+}
+
+DoubleRecordsView MappedBenchmark::sink_window_records() const {
+  if (!has_constraint_sections()) return {};
+  return {section_doubles(kCbenchSinkWindows), count(kCbenchSinkWindows), 2};
+}
+
+DoubleRecordsView MappedBenchmark::domain_bound_records() const {
+  if (!has_constraint_sections()) return {};
+  return {section_doubles(kCbenchDomainBounds), count(kCbenchDomainBounds), 3};
+}
+
+TimingConstraints MappedBenchmark::read_constraints() const {
+  TimingConstraints cons;
+  if (!has_constraint_sections()) return cons;
+
+  cons.domain_names.reserve(num_domain_names());
+  for (std::size_t i = 0; i < num_domain_names(); ++i) {
+    cons.domain_names.emplace_back(domain_name(i));
+  }
+
+  const DoubleRecordsView domains = sink_domain_records();
+  cons.sink_domains.reserve(domains.count);
+  for (std::size_t i = 0; i < domains.count; ++i) {
+    cons.sink_domains.push_back(
+        static_cast<std::uint32_t>(*domains.record(i)));
+  }
+
+  const DoubleRecordsView windows = sink_window_records();
+  cons.sink_windows.reserve(windows.count);
+  for (std::size_t i = 0; i < windows.count; ++i) {
+    const double* rec = windows.record(i);
+    cons.sink_windows.push_back(ArrivalWindow{rec[0], rec[1]});
+  }
+
+  const DoubleRecordsView bounds = domain_bound_records();
+  cons.domain_bounds.reserve(bounds.count);
+  for (std::size_t i = 0; i < bounds.count; ++i) {
+    const double* rec = bounds.record(i);
+    DomainBound b;
+    b.a = static_cast<std::uint32_t>(rec[0]);
+    b.b = static_cast<std::uint32_t>(rec[1]);
+    b.bound = rec[2];
+    cons.domain_bounds.push_back(b);
+  }
+  return cons;
 }
 
 Benchmark MappedBenchmark::to_benchmark() const {
@@ -650,6 +886,8 @@ Benchmark MappedBenchmark::to_benchmark() const {
     r.yhi = rec[3];
     bench.obstacle_rects.push_back(r);
   }
+
+  bench.constraints = read_constraints();
 
   validate(bench);
   return bench;

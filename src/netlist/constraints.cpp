@@ -1,0 +1,138 @@
+#include "netlist/constraints.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace contango {
+
+bool TimingConstraints::trivial() const {
+  if (!domain_names.empty() || !domain_bounds.empty()) return false;
+  for (std::uint32_t d : sink_domains) {
+    if (d != 0) return false;
+  }
+  for (const ArrivalWindow& w : sink_windows) {
+    if (!w.unbounded()) return false;
+  }
+  return true;
+}
+
+void TimingConstraints::normalize() {
+  const bool domains_default =
+      std::all_of(sink_domains.begin(), sink_domains.end(),
+                  [](std::uint32_t d) { return d == 0; });
+  if (domains_default) sink_domains.clear();
+  const bool windows_default =
+      std::all_of(sink_windows.begin(), sink_windows.end(),
+                  [](const ArrivalWindow& w) { return w.unbounded(); });
+  if (windows_default) sink_windows.clear();
+}
+
+std::size_t TimingConstraints::num_windowed_sinks() const {
+  std::size_t n = 0;
+  for (const ArrivalWindow& w : sink_windows) {
+    if (!w.unbounded()) ++n;
+  }
+  return n;
+}
+
+bool operator==(const TimingConstraints& x, const TimingConstraints& y) {
+  if (x.domain_names != y.domain_names) return false;
+  if (x.sink_domains != y.sink_domains) return false;
+  if (x.sink_windows.size() != y.sink_windows.size()) return false;
+  for (std::size_t i = 0; i < x.sink_windows.size(); ++i) {
+    if (x.sink_windows[i].lo != y.sink_windows[i].lo ||
+        x.sink_windows[i].hi != y.sink_windows[i].hi) {
+      return false;
+    }
+  }
+  if (x.domain_bounds.size() != y.domain_bounds.size()) return false;
+  for (std::size_t i = 0; i < x.domain_bounds.size(); ++i) {
+    if (x.domain_bounds[i].a != y.domain_bounds[i].a ||
+        x.domain_bounds[i].b != y.domain_bounds[i].b ||
+        x.domain_bounds[i].bound != y.domain_bounds[i].bound) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+bool is_token(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                    c == '.' || c == '/';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+[[noreturn]] void fail(const std::string& context, const std::string& msg) {
+  throw std::invalid_argument(context + ": " + msg);
+}
+
+}  // namespace
+
+void validate_constraints(const TimingConstraints& constraints,
+                          std::size_t num_sinks, const std::string& context) {
+  std::set<std::string> seen_names;
+  for (const std::string& name : constraints.domain_names) {
+    if (!is_token(name)) fail(context, "invalid domain name '" + name + "'");
+    if (!seen_names.insert(name).second) {
+      fail(context, "duplicate domain '" + name + "'");
+    }
+  }
+
+  const std::size_t domains = constraints.num_domains();
+  if (!constraints.sink_domains.empty() &&
+      constraints.sink_domains.size() != num_sinks) {
+    fail(context, "sink domain list does not match sink count");
+  }
+  for (std::uint32_t d : constraints.sink_domains) {
+    if (d >= domains) fail(context, "sink domain index out of range");
+  }
+
+  if (!constraints.sink_windows.empty() &&
+      constraints.sink_windows.size() != num_sinks) {
+    fail(context, "sink window list does not match sink count");
+  }
+  for (const ArrivalWindow& w : constraints.sink_windows) {
+    if (std::isnan(w.lo) || std::isnan(w.hi)) {
+      fail(context, "sink window bound is NaN");
+    }
+    if (w.lo > w.hi) fail(context, "sink window is empty (lo > hi)");
+  }
+
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen_pairs;
+  for (const DomainBound& b : constraints.domain_bounds) {
+    if (b.a >= domains || b.b >= domains) {
+      fail(context, "domain bound references unknown domain");
+    }
+    if (b.a == b.b) fail(context, "domain bound between a domain and itself");
+    if (!std::isfinite(b.bound) || b.bound < 0.0) {
+      fail(context, "domain bound must be finite and non-negative");
+    }
+    const auto pair = std::minmax(b.a, b.b);
+    if (!seen_pairs.insert({pair.first, pair.second}).second) {
+      fail(context, "duplicate domain bound");
+    }
+  }
+}
+
+std::string constraints_summary(const TimingConstraints& constraints) {
+  if (constraints.trivial()) return "trivial";
+  std::string out = std::to_string(constraints.num_domains()) + " domain" +
+                    (constraints.num_domains() == 1 ? "" : "s");
+  out += ", " + std::to_string(constraints.domain_bounds.size()) + " bound" +
+         (constraints.domain_bounds.size() == 1 ? "" : "s");
+  out += ", " + std::to_string(constraints.num_windowed_sinks()) +
+         " windowed sink" + (constraints.num_windowed_sinks() == 1 ? "" : "s");
+  return out;
+}
+
+}  // namespace contango

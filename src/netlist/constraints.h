@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace contango {
+
+/// \file constraints.h
+/// \brief First-class timing constraints: clock domains, inter-domain skew
+/// bounds, and per-sink useful-skew arrival windows.
+///
+/// The contest model the reproduction started from is the degenerate case:
+/// one clock domain, no windows, a single global skew objective.  That case
+/// is the **exact identity default** of this model — a default-constructed
+/// `TimingConstraints` changes no metric, no report byte, and no content
+/// hash.  Every layer (text/binary I/O, evaluation, slacks, the IVC gate,
+/// MC yield, reporting, the service cache key) branches on `trivial()` and
+/// takes the legacy path when it holds.
+///
+/// Semantics (per supply corner, per transition):
+///  * Each sink belongs to one domain (index into `domain_names`; every
+///    sink is in domain 0 when no domains are declared).
+///  * Domain skew of domain `d` is `Tmax_d - Tmin_d` over the reached
+///    sinks of `d` — the classic metric, now computed per domain.
+///  * An inter-domain bound `{a, b, bound}` caps the pairwise latency
+///    spread: `max(Tmax_a - Tmin_b, Tmax_b - Tmin_a) <= bound`.
+///  * A per-sink window `[lo, hi]` constrains the **relative** arrival
+///    `r(s) = T(s) - Tref`, where `Tref` is the minimum latency over all
+///    reached sinks.  Relative arrival is shift-invariant: synthesis moves
+///    the whole tree's insertion delay wholesale, so useful-skew targets
+///    are offsets from the earliest sink, not absolute times.
+struct ArrivalWindow {
+  double lo = -std::numeric_limits<double>::infinity();  ///< ps, may be -inf
+  double hi = std::numeric_limits<double>::infinity();   ///< ps, may be +inf
+
+  bool unbounded() const {
+    return lo == -std::numeric_limits<double>::infinity() &&
+           hi == std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Cap on the pairwise latency spread between two declared domains.
+struct DomainBound {
+  std::uint32_t a = 0;  ///< domain index (canonical form keeps a < b)
+  std::uint32_t b = 0;  ///< domain index
+  double bound = 0.0;   ///< ps, finite and non-negative
+};
+
+/// The timing-constraint block of a benchmark.  Vectors are either empty
+/// (all sinks default) or sized to the sink count; `normalize()` shrinks
+/// all-default vectors back to empty so the trivial case stays a unique
+/// representation.
+struct TimingConstraints {
+  /// Declared domain names, in declaration order.  Empty means the single
+  /// implicit domain 0 (the legacy model).
+  std::vector<std::string> domain_names;
+
+  /// Per-sink domain index; empty means every sink is in domain 0.
+  std::vector<std::uint32_t> sink_domains;
+
+  /// Per-sink arrival windows; empty means every window is unbounded.
+  std::vector<ArrivalWindow> sink_windows;
+
+  /// Inter-domain skew bounds (unordered pairs, canonically a < b).
+  std::vector<DomainBound> domain_bounds;
+
+  /// Number of domains the model spans (>= 1: the implicit domain exists
+  /// even when none are declared).
+  std::size_t num_domains() const {
+    return domain_names.empty() ? 1 : domain_names.size();
+  }
+
+  std::uint32_t domain_of(std::size_t sink) const {
+    return sink < sink_domains.size() ? sink_domains[sink] : 0;
+  }
+
+  ArrivalWindow window_of(std::size_t sink) const {
+    return sink < sink_windows.size() ? sink_windows[sink] : ArrivalWindow{};
+  }
+
+  /// True when this block is the exact legacy identity: no declared
+  /// domains, no sink in a non-zero domain, no bounded window, no
+  /// inter-domain bound.  Writers omit the constraint sections entirely in
+  /// this case, so legacy files, hashes and reports are byte-identical.
+  bool trivial() const;
+
+  /// Drops all-default per-sink vectors (all-zero domains, all-unbounded
+  /// windows) so logically trivial blocks compare trivial.
+  void normalize();
+
+  /// Number of sinks with a bounded (non-default) window.
+  std::size_t num_windowed_sinks() const;
+
+  friend bool operator==(const TimingConstraints& x, const TimingConstraints& y);
+  friend bool operator!=(const TimingConstraints& x, const TimingConstraints& y) {
+    return !(x == y);
+  }
+};
+
+/// Consistency checks for a constraint block attached to `num_sinks` sinks:
+/// per-sink vectors sized 0 or `num_sinks`, domain indices in range, domain
+/// names valid unique tokens, windows non-NaN with lo <= hi, bounds finite,
+/// non-negative, between distinct in-range domains with no duplicate pair.
+/// Throws std::invalid_argument naming `context` on violation.
+void validate_constraints(const TimingConstraints& constraints,
+                          std::size_t num_sinks, const std::string& context);
+
+/// One-line human summary, e.g. "3 domains, 2 bounds, 57 windowed sinks"
+/// ("trivial" for the identity block) — used by `contango-pack info`.
+std::string constraints_summary(const TimingConstraints& constraints);
+
+}  // namespace contango

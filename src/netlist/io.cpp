@@ -1,9 +1,14 @@
 #include "netlist/io.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <set>
 #include <sstream>
+#include <utility>
 
 #include "netlist/binio.h"
 
@@ -19,6 +24,25 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+/// Parses a window bound token: a double, or the one-sided markers
+/// `inf` / `+inf` / `-inf` (what the writer prints for unbounded ends).
+bool parse_window_bound(const std::string& token, double* out) {
+  if (token == "inf" || token == "+inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "-inf") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) return false;
+  *out = v;
+  return true;
+}
+
 }  // namespace
 
 Benchmark read_benchmark(std::istream& in, const std::string& context) {
@@ -32,6 +56,13 @@ Benchmark read_benchmark(std::istream& in, const std::string& context) {
   long declared_sinks = -1;
   long declared_obstacles = -1;
 
+  // Constraint directives reference sinks by index and may precede the sink
+  // list, so they are collected here and resolved at EOF.
+  std::vector<std::pair<std::size_t, std::uint32_t>> pending_sink_domains;
+  std::vector<std::pair<std::size_t, ArrivalWindow>> pending_sink_windows;
+  std::set<std::size_t> seen_domain_sinks;
+  std::set<std::size_t> seen_window_sinks;
+
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
@@ -44,6 +75,17 @@ Benchmark read_benchmark(std::istream& in, const std::string& context) {
 
     auto fail = [&](const std::string& what) {
       throw BenchmarkParseError(context, line_no, what);
+    };
+
+    // Domains must be declared (with `domain`) before anything refers to
+    // them, so references resolve to indices with a line number attached.
+    auto domain_index = [&](const std::string& dname) -> std::uint32_t {
+      const auto& names = bench.constraints.domain_names;
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == dname) return static_cast<std::uint32_t>(i);
+      }
+      fail("unknown domain '" + dname + "' (declare it with 'domain' first)");
+      return 0;  // unreachable
     };
 
     if (keyword == "units") {
@@ -118,6 +160,48 @@ Benchmark read_benchmark(std::istream& in, const std::string& context) {
         fail("malformed obstacle: xhi/yhi must exceed xlo/ylo (got " + line + ")");
       }
       bench.obstacle_rects.push_back(r);
+    } else if (keyword == "domain") {
+      std::string dname;
+      if (!(ss >> dname)) fail("domain needs one name token");
+      bench.constraints.domain_names.push_back(dname);
+    } else if (keyword == "domain_bound") {
+      std::string a, b;
+      DomainBound bound;
+      if (!(ss >> a >> b >> bound.bound)) {
+        fail("domain_bound needs: domain_a domain_b skew_ps");
+      }
+      bound.a = domain_index(a);
+      bound.b = domain_index(b);
+      bench.constraints.domain_bounds.push_back(bound);
+    } else if (keyword == "sink_domain") {
+      long index = -1;
+      std::string dname;
+      if (!(ss >> index >> dname) || index < 0) {
+        fail("sink_domain needs: sink_index domain_name");
+      }
+      if (!seen_domain_sinks.insert(static_cast<std::size_t>(index)).second) {
+        fail("duplicate sink_domain for sink " + std::to_string(index));
+      }
+      pending_sink_domains.emplace_back(static_cast<std::size_t>(index),
+                                        domain_index(dname));
+    } else if (keyword == "sink_window") {
+      long index = -1;
+      std::string lo_token, hi_token;
+      if (!(ss >> index >> lo_token >> hi_token) || index < 0) {
+        fail("sink_window needs: sink_index lo_ps hi_ps (bounds may be "
+             "-inf/inf)");
+      }
+      ArrivalWindow w;
+      if (!parse_window_bound(lo_token, &w.lo)) {
+        fail("malformed sink_window bound '" + lo_token + "'");
+      }
+      if (!parse_window_bound(hi_token, &w.hi)) {
+        fail("malformed sink_window bound '" + hi_token + "'");
+      }
+      if (!seen_window_sinks.insert(static_cast<std::size_t>(index)).second) {
+        fail("duplicate sink_window for sink " + std::to_string(index));
+      }
+      pending_sink_windows.emplace_back(static_cast<std::size_t>(index), w);
     } else {
       fail("unknown keyword '" + keyword + "'");
     }
@@ -141,6 +225,33 @@ Benchmark read_benchmark(std::istream& in, const std::string& context) {
   };
   check_count(declared_sinks, bench.sinks.size(), "sink");
   check_count(declared_obstacles, bench.obstacle_rects.size(), "obstacle");
+
+  // Resolve deferred per-sink constraint entries now that the sink count is
+  // final.  Only referenced vectors materialize, so benchmarks without
+  // constraint directives keep empty (trivial) blocks.
+  auto check_sink_index = [&](std::size_t index, const char* what) {
+    if (index < bench.sinks.size()) return;
+    throw BenchmarkParseError(context, line_no,
+                              std::string(what) + " index " +
+                                  std::to_string(index) +
+                                  " out of range (have " +
+                                  std::to_string(bench.sinks.size()) +
+                                  " sinks)");
+  };
+  if (!pending_sink_domains.empty()) {
+    bench.constraints.sink_domains.assign(bench.sinks.size(), 0);
+    for (const auto& entry : pending_sink_domains) {
+      check_sink_index(entry.first, "sink_domain");
+      bench.constraints.sink_domains[entry.first] = entry.second;
+    }
+  }
+  if (!pending_sink_windows.empty()) {
+    bench.constraints.sink_windows.assign(bench.sinks.size(), ArrivalWindow{});
+    for (const auto& entry : pending_sink_windows) {
+      check_sink_index(entry.first, "sink_window");
+      bench.constraints.sink_windows[entry.first] = entry.second;
+    }
+  }
 
   if (bench.tech.corners.empty()) bench.tech.corners = {1.2, 1.0};
   validate(bench);
@@ -200,6 +311,9 @@ void write_benchmark(const Benchmark& bench, std::ostream& out) {
     require_token_name(inv.name, "inverter");
   }
   for (const Sink& s : bench.sinks) require_token_name(s.name, "sink");
+  for (const std::string& d : bench.constraints.domain_names) {
+    require_token_name(d, "domain");
+  }
 
   out.precision(17);  // lossless double round-trip
   out << "# contango CNS benchmark\n";
@@ -234,6 +348,30 @@ void write_benchmark(const Benchmark& bench, std::ostream& out) {
   for (const Rect& r : bench.obstacle_rects) {
     out << "obstacle " << r.xlo << " " << r.ylo << " " << r.xhi << " " << r.yhi
         << "\n";
+  }
+
+  // Constraint directives are emitted only for non-trivial blocks, so every
+  // legacy benchmark round-trips byte-identically (and keeps its content
+  // hash).  Per-sink entries are sparse: only non-default values appear.
+  const TimingConstraints& cons = bench.constraints;
+  if (!cons.trivial()) {
+    for (const std::string& d : cons.domain_names) {
+      out << "domain " << d << "\n";
+    }
+    for (const DomainBound& b : cons.domain_bounds) {
+      out << "domain_bound " << cons.domain_names[b.a] << " "
+          << cons.domain_names[b.b] << " " << b.bound << "\n";
+    }
+    for (std::size_t i = 0; i < cons.sink_domains.size(); ++i) {
+      if (cons.sink_domains[i] == 0) continue;
+      out << "sink_domain " << i << " "
+          << cons.domain_names[cons.sink_domains[i]] << "\n";
+    }
+    for (std::size_t i = 0; i < cons.sink_windows.size(); ++i) {
+      const ArrivalWindow& w = cons.sink_windows[i];
+      if (w.unbounded()) continue;
+      out << "sink_window " << i << " " << w.lo << " " << w.hi << "\n";
+    }
   }
 }
 

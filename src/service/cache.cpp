@@ -9,19 +9,50 @@ Hash128 job_content_hash(const std::vector<Benchmark>& benchmarks,
                          const SuiteOptions& options) {
   Hasher h;
   // Version tag first: bumping it invalidates every old key when the
-  // schema of this function changes.
-  h.update_field("contango-job-v2");
+  // schema of this function changes.  Jobs whose benchmarks all carry
+  // trivial TimingConstraints keep the exact v2 key — legacy submissions
+  // hash identically across this schema change — while any non-trivial
+  // constraint block switches the whole job to the v3 schema, which folds
+  // an explicit constraint digest in below.
+  bool any_constrained = false;
+  for (const Benchmark& bench : benchmarks) {
+    any_constrained = any_constrained || !bench.constraints.trivial();
+  }
+  h.update_field(any_constrained ? "contango-job-v3" : "contango-job-v2");
 
   // Workload: benchmark_content_hash per benchmark — a streamed FNV-1a
   // over the canonical `.bench` bytes, never materializing the text (a
   // 1M-sink instance is ~70 MB of it).  A generated scenario, its
   // exported text file and its packed `.cbench` all hash identically, so
   // text and binary submissions of the same instance share cache entries.
+  // The canonical text includes the constraint directives, so the per-
+  // benchmark digests already distinguish constrained instances; the v3
+  // block below additionally pins the decoded TimingConstraints values.
   h.update_u64(benchmarks.size());
   for (const Benchmark& bench : benchmarks) {
     const Hash128 digest = benchmark_content_hash(bench);
     h.update_u64(digest.hi);
     h.update_u64(digest.lo);
+  }
+  if (any_constrained) {
+    for (const Benchmark& bench : benchmarks) {
+      const TimingConstraints& cons = bench.constraints;
+      h.update_u64(cons.domain_names.size());
+      for (const std::string& name : cons.domain_names) h.update_field(name);
+      h.update_u64(cons.sink_domains.size());
+      for (const std::uint32_t d : cons.sink_domains) h.update_u64(d);
+      h.update_u64(cons.sink_windows.size());
+      for (const ArrivalWindow& w : cons.sink_windows) {
+        h.update_double(w.lo);
+        h.update_double(w.hi);
+      }
+      h.update_u64(cons.domain_bounds.size());
+      for (const DomainBound& b : cons.domain_bounds) {
+        h.update_u64(b.a);
+        h.update_u64(b.b);
+        h.update_double(b.bound);
+      }
+    }
   }
 
   // The pipeline that will actually run: SuiteOptions::pipeline_spec

@@ -27,7 +27,11 @@ namespace contango {
 /// \brief Stable 128-bit content key of a job: what it runs and every
 /// option that can change the report bytes.
 ///
-/// Covered: a version tag (bump it when the key schema changes), the
+/// Covered: a version tag (bump it when the key schema changes —
+/// "contango-job-v2" for all-trivial-constraint jobs, unchanged from
+/// before the TimingConstraints refactor, and "contango-job-v3" when any
+/// benchmark carries a non-trivial constraint block, which additionally
+/// folds the decoded domains/windows/bounds in), the
 /// benchmark_content_hash of every benchmark — a streamed FNV-1a over the
 /// canonical `.bench` bytes, so text and `.cbench` submissions of the
 /// same instance share an entry without materializing the text (the

@@ -459,13 +459,214 @@ TEST_F(CbenchCorruption, NameLengthOverrunIsCaughtByChecksumOrWalk) {
   const auto& names = mapped.sections()[kCbenchNames - 1];
   std::vector<unsigned char> bytes = image_;
   poke_u32(bytes, static_cast<std::size_t>(names.offset), 0x00FFFFFF);
-  std::uint64_t h = 1469598103934665603ull;  // FNV-1a-64 offset basis
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a-64 offset basis
   for (std::uint64_t i = 0; i < names.byte_size; ++i) {
     h ^= bytes[static_cast<std::size_t>(names.offset + i)];
     h *= 1099511628211ull;
   }
   poke_u64(bytes, table_entry(kCbenchNames) + 32, h);
   expect_rejected(std::move(bytes), {"section NAMES"});
+}
+
+// ---------------------------------------------------------------------------
+// Format v2: constraint sections
+// ---------------------------------------------------------------------------
+
+void poke_double(std::vector<unsigned char>& bytes, std::size_t off, double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, 8);
+  poke_u64(bytes, off, b);
+}
+
+/// Recomputes the stored checksum of section `id` from the (possibly
+/// corrupted) payload bytes, so a semantic corruption reaches the value
+/// checks instead of tripping the checksum first.
+void refresh_checksum(std::vector<unsigned char>& bytes, std::uint32_t id) {
+  std::uint64_t offset = 0, byte_size = 0;
+  std::memcpy(&offset, bytes.data() + table_entry(id) + 8, 8);
+  std::memcpy(&byte_size, bytes.data() + table_entry(id) + 24, 8);
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a-64 offset basis
+  for (std::uint64_t i = 0; i < byte_size; ++i) {
+    h ^= bytes[static_cast<std::size_t>(offset + i)];
+    h *= 1099511628211ull;
+  }
+  poke_u64(bytes, table_entry(id) + 32, h);
+}
+
+/// A benchmark exercising every v2 section: two named domains, a full
+/// per-sink domain assignment, a couple of bounded windows, and one
+/// inter-domain bound.
+Benchmark constrained_fixture() {
+  Benchmark bench = make_scenario("ring", 1, 64);
+  TimingConstraints& cons = bench.constraints;
+  cons.domain_names = {"core", "io"};
+  cons.sink_domains.assign(bench.sinks.size(), 0);
+  for (std::size_t i = 0; i < cons.sink_domains.size(); i += 2) {
+    cons.sink_domains[i] = 1;
+  }
+  cons.sink_windows.assign(bench.sinks.size(), ArrivalWindow{});
+  cons.sink_windows[0] = ArrivalWindow{0.0, 25.0};
+  cons.sink_windows[3].hi = 40.0;  // one-sided: upper bound only
+  cons.domain_bounds.push_back(DomainBound{0, 1, 30.0});
+  return bench;
+}
+
+TEST(CbenchVersioning, TrivialConstraintsStillEmitVersion1) {
+  const MappedBenchmark mapped = MappedBenchmark::from_file(
+      MappedFile::from_bytes(cbench_bytes(make_scenario("ring", 1, 64))),
+      "<v1.cbench>");
+  EXPECT_EQ(mapped.version(), kCbenchVersion);
+  EXPECT_FALSE(mapped.has_constraint_sections());
+  EXPECT_TRUE(mapped.read_constraints().trivial());
+}
+
+TEST(CbenchVersioning, ConstrainedBenchmarkEmitsVersion2AndRoundTrips) {
+  const Benchmark original = constrained_fixture();
+  std::vector<unsigned char> bytes = cbench_bytes(original);
+  const MappedBenchmark mapped = MappedBenchmark::from_file(
+      MappedFile::from_bytes(std::move(bytes)), "<v2.cbench>");
+  EXPECT_EQ(mapped.version(), kCbenchVersion2);
+  ASSERT_TRUE(mapped.has_constraint_sections());
+  EXPECT_EQ(mapped.num_domain_names(), 2u);
+  EXPECT_EQ(mapped.domain_name(0), "core");
+  EXPECT_EQ(mapped.domain_name(1), "io");
+
+  const Benchmark back = mapped.to_benchmark();
+  EXPECT_EQ(back.constraints, original.constraints);
+  EXPECT_EQ(canonical_text(back), canonical_text(original));
+  EXPECT_EQ(benchmark_content_hash(back).hex(),
+            benchmark_content_hash(original).hex());
+}
+
+TEST(CbenchVersioning, TextAndBinaryConstraintsAgree) {
+  // .bench text directives and .cbench v2 sections decode to the same
+  // TimingConstraints (the contango-pack verify invariant).
+  const Benchmark original = constrained_fixture();
+  std::istringstream text(canonical_text(original));
+  const Benchmark from_text = read_benchmark(text, "<text.bench>");
+  const Benchmark from_binary = parse_bytes(cbench_bytes(original));
+  EXPECT_EQ(from_text.constraints, from_binary.constraints);
+}
+
+TEST(CbenchVersioning, WindowsOnlyConstraintsRoundTripDespiteEmptySections) {
+  // The usefulskew shape: sink windows only, with SINK_DOMAINS,
+  // DOMAIN_BOUNDS and DOMAIN_NAMES all zero-byte sections sharing their
+  // offset with the non-empty NAMES section that follows.  Regression:
+  // the overlap validator used to sort offset-tied sections arbitrarily
+  // and reject every such file with a bogus "sections NAMES and
+  // DOMAIN_BOUNDS overlap".
+  Benchmark original = make_scenario("ring", 1, 64);
+  original.constraints.sink_windows.assign(original.sinks.size(),
+                                           ArrivalWindow{});
+  original.constraints.sink_windows[2] = ArrivalWindow{1.0, 50.0};
+  original.constraints.sink_windows[5].hi = 80.0;  // one-sided
+  ASSERT_FALSE(original.constraints.trivial());
+
+  std::vector<unsigned char> bytes = cbench_bytes(original);
+  const MappedBenchmark mapped = MappedBenchmark::from_file(
+      MappedFile::from_bytes(std::move(bytes)), "<windows-only.cbench>");
+  EXPECT_EQ(mapped.version(), kCbenchVersion2);
+  ASSERT_TRUE(mapped.has_constraint_sections());
+  EXPECT_EQ(mapped.num_domain_names(), 0u);
+
+  const Benchmark back = parse_bytes(cbench_bytes(original));
+  EXPECT_EQ(back.constraints, original.constraints);
+  EXPECT_EQ(benchmark_content_hash(back).hex(),
+            benchmark_content_hash(original).hex());
+}
+
+class CbenchCorruptionV2 : public ::testing::Test {
+ protected:
+  void SetUp() override { image_ = cbench_bytes(constrained_fixture()); }
+
+  /// SectionInfo of `id` in the (valid) fixture image.
+  MappedBenchmark::SectionInfo locate(std::uint32_t id) const {
+    const MappedBenchmark mapped = MappedBenchmark::from_file(
+        MappedFile::from_bytes(image_), "<locate.cbench>");
+    return mapped.sections()[id - 1];
+  }
+
+  std::vector<unsigned char> image_;
+};
+
+TEST_F(CbenchCorruptionV2, BitFlipInEveryConstraintSectionNamesIt) {
+  for (const std::uint32_t id : {kCbenchSinkDomains, kCbenchSinkWindows,
+                                 kCbenchDomainBounds, kCbenchDomainNames}) {
+    const MappedBenchmark::SectionInfo s = locate(id);
+    ASSERT_GT(s.byte_size, 0u) << cbench_section_name(id);
+    std::vector<unsigned char> bytes = image_;
+    bytes[static_cast<std::size_t>(s.offset + s.byte_size / 2)] ^= 0x10;
+    expect_rejected(std::move(bytes),
+                    {std::string("section ") + cbench_section_name(id),
+                     "checksum mismatch"});
+  }
+}
+
+TEST_F(CbenchCorruptionV2, OutOfRangeDomainIndexNamesTheSection) {
+  const MappedBenchmark::SectionInfo s = locate(kCbenchSinkDomains);
+  std::vector<unsigned char> bytes = image_;
+  poke_double(bytes, static_cast<std::size_t>(s.offset), 9.0);
+  refresh_checksum(bytes, kCbenchSinkDomains);
+  expect_rejected(std::move(bytes),
+                  {"section SINK_DOMAINS", "domain index", "is not an integer"});
+}
+
+TEST_F(CbenchCorruptionV2, NonIntegralDomainIndexNamesTheSection) {
+  const MappedBenchmark::SectionInfo s = locate(kCbenchSinkDomains);
+  std::vector<unsigned char> bytes = image_;
+  poke_double(bytes, static_cast<std::size_t>(s.offset), 0.5);
+  refresh_checksum(bytes, kCbenchSinkDomains);
+  expect_rejected(std::move(bytes),
+                  {"section SINK_DOMAINS", "is not an integer"});
+}
+
+TEST_F(CbenchCorruptionV2, InvertedWindowNamesTheSection) {
+  // Window 0 is [0, 25] in the fixture; poking lo above hi makes it empty.
+  const MappedBenchmark::SectionInfo s = locate(kCbenchSinkWindows);
+  std::vector<unsigned char> bytes = image_;
+  poke_double(bytes, static_cast<std::size_t>(s.offset), 50.0);
+  refresh_checksum(bytes, kCbenchSinkWindows);
+  expect_rejected(std::move(bytes),
+                  {"section SINK_WINDOWS", "window 0 is malformed"});
+}
+
+TEST_F(CbenchCorruptionV2, NegativeDomainBoundNamesTheSection) {
+  const MappedBenchmark::SectionInfo s = locate(kCbenchDomainBounds);
+  std::vector<unsigned char> bytes = image_;
+  poke_double(bytes, static_cast<std::size_t>(s.offset) + 16, -5.0);
+  refresh_checksum(bytes, kCbenchDomainBounds);
+  expect_rejected(std::move(bytes),
+                  {"section DOMAIN_BOUNDS", "finite and non-negative"});
+}
+
+TEST_F(CbenchCorruptionV2, DomainNameLengthOverrunNamesTheSection) {
+  const MappedBenchmark::SectionInfo s = locate(kCbenchDomainNames);
+  std::vector<unsigned char> bytes = image_;
+  poke_u32(bytes, static_cast<std::size_t>(s.offset), 0x00FFFFFF);
+  refresh_checksum(bytes, kCbenchDomainNames);
+  expect_rejected(std::move(bytes), {"section DOMAIN_NAMES"});
+}
+
+TEST_F(CbenchCorruptionV2, RandomSingleBitFlipsNeverCrash) {
+  // v2 twin of the v1 catch-all fuzz below: any single-bit corruption of a
+  // constrained image either still parses or raises BenchmarkParseError.
+  Rng rng(20260808);
+  int rejected = 0;
+  constexpr int kTrials = 300;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<unsigned char> bytes = image_;
+    const std::size_t bit = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<long>(bytes.size()) * 8 - 1));
+    bytes[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+    try {
+      parse_bytes(std::move(bytes));
+    } catch (const BenchmarkParseError&) {
+      ++rejected;
+    } catch (const std::invalid_argument&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GE(rejected, kTrials * 9 / 10);
 }
 
 TEST_F(CbenchCorruption, RandomSingleBitFlipsNeverCrash) {

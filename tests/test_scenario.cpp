@@ -10,12 +10,12 @@
 namespace contango {
 namespace {
 
-TEST(ScenarioRegistry, BuiltinHasTheEightStockFamilies) {
+TEST(ScenarioRegistry, BuiltinHasTheTenStockFamilies) {
   const std::vector<std::string> names = ScenarioRegistry::builtin().names();
-  const std::vector<std::string> expected = {"uniform",     "clustered",
-                                             "ring",        "obstacle_dense",
-                                             "high_fanout", "mixed_cap",
-                                             "huge",        "mega"};
+  const std::vector<std::string> expected = {
+      "uniform",   "clustered",   "ring",        "obstacle_dense",
+      "high_fanout", "mixed_cap", "huge",        "multidomain",
+      "usefulskew", "mega"};
   EXPECT_EQ(names, expected);
   for (const auto& family : ScenarioRegistry::builtin().families()) {
     EXPECT_FALSE(family.description.empty());

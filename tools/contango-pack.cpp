@@ -96,6 +96,10 @@ int cmd_convert(const std::string& in_path, const std::string& out_path) {
   std::printf("%s -> %s: %zu sinks, %zu obstacles (load %.3f s, write %.3f s)\n",
               in_path.c_str(), out_path.c_str(), bench.sinks.size(),
               bench.obstacle_rects.size(), load_s, save_timer.seconds());
+  if (!bench.constraints.trivial()) {
+    std::printf("  constraints: %s\n",
+                constraints_summary(bench.constraints).c_str());
+  }
   return 0;
 }
 
@@ -117,6 +121,10 @@ int cmd_verify(const std::vector<std::string>& files) {
   if (text_a == text_b) {
     std::printf("OK %s == %s (content hash %s)\n", files[0].c_str(),
                 label_b.c_str(), hash.hex().c_str());
+    if (!a.constraints.trivial()) {
+      std::printf("  constraints: %s\n",
+                  constraints_summary(a.constraints).c_str());
+    }
     return 0;
   }
   std::fprintf(stderr, "MISMATCH: %s and %s differ in canonical form\n",
@@ -137,10 +145,12 @@ int cmd_info(const std::string& path) {
               mapped.benchmark_name().data(), mapped.num_sinks(),
               mapped.num_obstacles(), mapped.num_wires(),
               mapped.num_inverters(), mapped.num_corners());
-  std::printf("  %-10s %10s %10s %12s  %s\n", "section", "offset", "records",
+  std::printf("  constraints: %s\n",
+              constraints_summary(mapped.read_constraints()).c_str());
+  std::printf("  %-13s %10s %10s %12s  %s\n", "section", "offset", "records",
               "bytes", "checksum");
   for (const MappedBenchmark::SectionInfo& s : mapped.sections()) {
-    std::printf("  %-10s %10llu %10llu %12llu  %016llx\n",
+    std::printf("  %-13s %10llu %10llu %12llu  %016llx\n",
                 cbench_section_name(s.id),
                 static_cast<unsigned long long>(s.offset),
                 static_cast<unsigned long long>(s.count),
